@@ -1,0 +1,249 @@
+//! Pattern-rotation search, after Quan & Hu's enhanced fixed-priority
+//! (m,k) scheduling (the paper's reference \[13\]).
+//!
+//! The deeply-red pattern clusters every task's mandatory jobs at the
+//! start of its window; at the synchronous release all clusters align and
+//! the peak load is maximal. *Rotating* individual tasks' patterns
+//! (cyclically shifting their mandatory positions) de-clusters that peak
+//! and can make otherwise-unschedulable sets schedulable — at the cost of
+//! losing the synchronous-critical-instant argument, so candidate
+//! assignments are validated with the exact hyperperiod sweep
+//! ([`crate::exact::exact_sweep_rotated`] with
+//! [`ExactReport::schedulable_forever`]).
+//!
+//! The search is a bounded coordinate descent: repeatedly pick, for each
+//! task in priority order, the offset minimizing (misses, worst-response
+//! sum) under the exact sweep, until the set is schedulable or no pass
+//! improves anything.
+
+use mkss_core::mk::{Pattern, RotatedPattern};
+use mkss_core::task::TaskSet;
+use mkss_core::time::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::exact::{exact_sweep_rotated, ExactReport};
+
+/// Configuration for [`find_rotation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RotationConfig {
+    /// Base pattern being rotated (the paper's schemes use deeply-red).
+    pub base: Pattern,
+    /// Hyperperiod cap: sets whose pattern hyperperiod exceeds this are
+    /// not searched (the exact sweep could not prove anything).
+    pub max_hyperperiod: Time,
+    /// Maximum coordinate-descent passes over the task set.
+    pub max_passes: u32,
+}
+
+impl Default for RotationConfig {
+    fn default() -> Self {
+        RotationConfig {
+            base: Pattern::DeeplyRed,
+            max_hyperperiod: Time::from_ms(200_000),
+            max_passes: 3,
+        }
+    }
+}
+
+/// Outcome of the rotation search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RotationAssignment {
+    /// Chosen per-task patterns (offset 0 = unrotated).
+    pub patterns: Vec<RotatedPattern>,
+    /// Exact sweep report of the chosen assignment.
+    pub report: ExactReport,
+}
+
+impl RotationAssignment {
+    /// Whether the chosen assignment is provably schedulable.
+    pub fn schedulable(&self) -> bool {
+        self.report.schedulable_forever()
+    }
+}
+
+/// Badness of a sweep: (number of missing tasks, summed worst responses).
+fn badness(report: &ExactReport) -> (usize, u128) {
+    let misses = report
+        .worst_response
+        .iter()
+        .filter(|r| r.is_none())
+        .count();
+    let total: u128 = report
+        .worst_response
+        .iter()
+        .flatten()
+        .map(|t| u128::from(t.ticks()))
+        .sum();
+    (misses, total)
+}
+
+/// Searches for a per-task rotation assignment making `ts` provably
+/// schedulable under the exact sweep. Returns the best assignment found
+/// (check [`RotationAssignment::schedulable`]), or `None` when the
+/// pattern hyperperiod exceeds the configured cap and nothing can be
+/// proven.
+///
+/// # Examples
+///
+/// ```
+/// use mkss_analysis::rotation::{find_rotation, RotationConfig};
+/// use mkss_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two tasks whose deeply-red clusters collide at t = 0: τ2's first
+/// // mandatory job misses. Rotating τ2 by one position fixes it.
+/// let ts = TaskSet::new(vec![
+///     Task::from_ms(4, 4, 2, 2, 3)?,
+///     Task::from_ms(6, 6, 3, 1, 2)?,
+/// ])?;
+/// assert!(!mkss_analysis::rta::is_schedulable_r_pattern(&ts));
+/// let assignment = find_rotation(&ts, RotationConfig::default()).expect("small hyperperiod");
+/// assert!(assignment.schedulable());
+/// assert!(assignment.patterns.iter().any(|p| p.offset != 0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_rotation(ts: &TaskSet, config: RotationConfig) -> Option<RotationAssignment> {
+    if ts.hyperperiod() > config.max_hyperperiod {
+        return None;
+    }
+    let cap = config.max_hyperperiod;
+    let mut patterns: Vec<RotatedPattern> =
+        vec![RotatedPattern::plain(config.base); ts.len()];
+    let mut best_report = exact_sweep_rotated(ts, &patterns, cap);
+    if best_report.schedulable_forever() {
+        return Some(RotationAssignment {
+            patterns,
+            report: best_report,
+        });
+    }
+    for _ in 0..config.max_passes {
+        let mut improved = false;
+        for (i, task) in ts.iter() {
+            let k = task.mk().k();
+            let mut best_offset = patterns[i.0].offset;
+            let mut best_badness = badness(&best_report);
+            for offset in 0..k {
+                if offset == patterns[i.0].offset {
+                    continue;
+                }
+                let mut candidate = patterns.clone();
+                candidate[i.0].offset = offset;
+                let report = exact_sweep_rotated(ts, &candidate, cap);
+                let b = badness(&report);
+                if b < best_badness {
+                    best_badness = b;
+                    best_offset = offset;
+                }
+            }
+            if best_offset != patterns[i.0].offset {
+                patterns[i.0].offset = best_offset;
+                best_report = exact_sweep_rotated(ts, &patterns, cap);
+                improved = true;
+                if best_report.schedulable_forever() {
+                    return Some(RotationAssignment {
+                        patterns,
+                        report: best_report,
+                    });
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(RotationAssignment {
+        patterns,
+        report: best_report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rta::is_schedulable_r_pattern;
+    use mkss_core::task::Task;
+
+    fn set(tasks: &[(u64, u64, u64, u32, u32)]) -> TaskSet {
+        TaskSet::new(
+            tasks
+                .iter()
+                .map(|&(p, d, c, m, k)| Task::from_ms(p, d, c, m, k).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn already_schedulable_sets_stay_unrotated() {
+        let ts = set(&[(10, 10, 3, 2, 3), (15, 15, 8, 1, 2)]);
+        let a = find_rotation(&ts, RotationConfig::default()).unwrap();
+        assert!(a.schedulable());
+        assert!(a.patterns.iter().all(|p| p.offset == 0));
+    }
+
+    #[test]
+    fn rotation_rescues_clustered_set() {
+        // Unschedulable deeply-red (clusters collide), schedulable when
+        // de-clustered.
+        let ts = set(&[(4, 4, 2, 2, 3), (6, 6, 3, 1, 2)]);
+        assert!(!is_schedulable_r_pattern(&ts));
+        let a = find_rotation(&ts, RotationConfig::default()).unwrap();
+        assert!(a.schedulable(), "report: {:?}", a.report);
+    }
+
+    #[test]
+    fn hopeless_sets_reported_unschedulable() {
+        // Mandatory utilization > 1: no rotation can help.
+        let ts = set(&[(4, 4, 3, 3, 4), (5, 5, 3, 4, 5)]);
+        let a = find_rotation(&ts, RotationConfig::default()).unwrap();
+        assert!(!a.schedulable());
+    }
+
+    #[test]
+    fn huge_hyperperiods_are_refused() {
+        let ts = set(&[(10, 10, 3, 2, 3)]);
+        let config = RotationConfig {
+            max_hyperperiod: Time::from_ms(1),
+            ..RotationConfig::default()
+        };
+        assert!(find_rotation(&ts, config).is_none());
+    }
+
+    #[test]
+    fn rotated_verdicts_agree_with_dense_check() {
+        // Cross-check one rescued assignment with a tick-dense simulation.
+        let ts = set(&[(4, 4, 2, 2, 3), (6, 6, 3, 1, 2)]);
+        let a = find_rotation(&ts, RotationConfig::default()).unwrap();
+        assert!(a.schedulable());
+        let horizon = ts.hyperperiod();
+        let step = 1000; // 1 ms in ticks; all parameters are whole-ms
+        let mut jobs: Vec<(u64, u64, u64, usize)> = Vec::new(); // rel, dl, rem, prio
+        for (id, task) in ts.iter() {
+            let count = horizon.div_floor(task.period());
+            for j in 1..=count {
+                if a.patterns[id.0].is_mandatory(task.mk(), j) {
+                    jobs.push((
+                        task.release_of(j).ticks(),
+                        task.deadline_of(j).ticks(),
+                        task.wcet().ticks(),
+                        id.0,
+                    ));
+                }
+            }
+        }
+        let mut t = 0;
+        while t < horizon.ticks() {
+            if let Some(job) = jobs
+                .iter_mut()
+                .filter(|j| j.0 <= t && j.2 > 0)
+                .min_by_key(|j| j.3)
+            {
+                job.2 -= step;
+                assert!(job.2 > 0 || t + step <= job.1, "deadline miss at {t}");
+            }
+            t += step;
+        }
+        assert!(jobs.iter().all(|j| j.2 == 0), "work left at the hyperperiod");
+    }
+}

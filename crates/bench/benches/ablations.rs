@@ -1,0 +1,54 @@
+//! Criterion benches for the ablation studies (scaled down; the
+//! `ablations` binary runs them at full size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+use std::hint::black_box;
+
+fn scaled(policies: Vec<PolicyKind>) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fig6(Scenario::NoFault);
+    cfg.policies = policies;
+    cfg.plan.sets_per_bucket = 2;
+    cfg.plan.from = 0.3;
+    cfg.plan.to = 0.6;
+    cfg.horizon = Time::from_ms(300);
+    cfg
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("greedy_vs_selective", |b| {
+        let cfg = scaled(vec![PolicyKind::Greedy, PolicyKind::Selective]);
+        b.iter(|| black_box(run_experiment(black_box(&cfg))));
+    });
+    group.bench_function("fd_threshold", |b| {
+        let cfg = scaled(vec![
+            PolicyKind::Selective,
+            PolicyKind::SelectiveFd2,
+            PolicyKind::SelectiveFd3,
+        ]);
+        b.iter(|| black_box(run_experiment(black_box(&cfg))));
+    });
+    group.bench_function("placement", |b| {
+        let cfg = scaled(vec![
+            PolicyKind::Selective,
+            PolicyKind::SelectivePrimaryOnly,
+        ]);
+        b.iter(|| black_box(run_experiment(black_box(&cfg))));
+    });
+    group.bench_function("postponement", |b| {
+        let cfg = scaled(vec![
+            PolicyKind::Selective,
+            PolicyKind::SelectiveNoPostpone,
+        ]);
+        b.iter(|| black_box(run_experiment(black_box(&cfg))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches regenerating (scaled-down) versions of the paper's
+//! Figure 6 panels. Each bench runs the full pipeline — workload
+//! generation, fault planning, simulation of the three schemes,
+//! normalization — on a reduced bucket plan so `cargo bench` stays
+//! tractable; the `fig6` binary runs the full-size experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+use std::hint::black_box;
+
+fn scaled(scenario: Scenario) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fig6(scenario);
+    cfg.plan.sets_per_bucket = 2;
+    cfg.plan.from = 0.3;
+    cfg.plan.to = 0.7;
+    cfg.horizon = Time::from_ms(300);
+    cfg
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for scenario in Scenario::ALL {
+        group.bench_function(scenario.id(), |b| {
+            let cfg = scaled(scenario);
+            b.iter(|| {
+                let result = run_experiment(black_box(&cfg));
+                assert_eq!(result.total_violations(), 0);
+                // Sanity: both schemes beat the static reference.
+                for bucket in result.buckets.iter().filter(|b| b.sets > 0) {
+                    let dp = bucket.normalized[&PolicyKind::DualPriority];
+                    let sel = bucket.normalized[&PolicyKind::Selective];
+                    assert!(dp <= 1.0 + 1e-9 && sel <= 1.0 + 1e-9);
+                }
+                black_box(result)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. greedy vs selective optional-job execution (Section III's
+//!    motivation, Figs. 2–4 at scale);
+//! 2. the FD = 1 selection threshold vs FD ≤ 2 / FD ≤ 3;
+//! 3. alternating optional placement vs primary-only;
+//! 4. θ-postponement vs promotion-times-only vs the static reference.
+//!
+//! ```text
+//! ablations [--sets N] [--horizon-ms MS] [--seed S] [--scenario ...]
+//! ```
+
+use std::process::ExitCode;
+
+use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_bench::table;
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+
+fn main() -> ExitCode {
+    let mut template = ExperimentConfig::fig6(Scenario::NoFault);
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--sets" => {
+                    template.plan.sets_per_bucket =
+                        value()?.parse().map_err(|e| format!("--sets: {e}"))?
+                }
+                "--horizon-ms" => {
+                    template.horizon =
+                        Time::from_ms(value()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?)
+                }
+                "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--scenario" => template.scenario = value()?.parse()?,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: ablations [--sets N] [--horizon-ms MS] [--seed S] \
+                         [--scenario no-fault|permanent|combined]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let studies: [(&str, Vec<PolicyKind>); 6] = [
+        (
+            "ablation 1: greedy vs selective optional execution",
+            vec![
+                PolicyKind::Greedy,
+                PolicyKind::Selective,
+                PolicyKind::DualPriority,
+            ],
+        ),
+        (
+            "ablation 2: flexibility-degree selection threshold",
+            vec![
+                PolicyKind::Selective,
+                PolicyKind::SelectiveFd2,
+                PolicyKind::SelectiveFd3,
+            ],
+        ),
+        (
+            "ablation 3: optional-job placement",
+            vec![PolicyKind::Selective, PolicyKind::SelectivePrimaryOnly],
+        ),
+        (
+            "ablation 4: backup procrastination on the static scheme (Y vs θ vs θ_ij)",
+            vec![
+                PolicyKind::DualPriority,
+                PolicyKind::DualPriorityTheta,
+                PolicyKind::DualPriorityJobTheta,
+                PolicyKind::Selective,
+                PolicyKind::SelectiveNoPostpone,
+            ],
+        ),
+        (
+            "ablation 5: static pattern shape (deeply-red vs evenly-distributed)",
+            vec![PolicyKind::Static, PolicyKind::StaticEven],
+        ),
+        (
+            "ablation 6: DVS-slowed mains (the extension the paper omits)",
+            vec![
+                PolicyKind::DualPriority,
+                PolicyKind::DualPriorityTheta,
+                PolicyKind::DvsDualPriority,
+                PolicyKind::Selective,
+            ],
+        ),
+    ];
+
+    for (title, policies) in studies {
+        println!("== {title} ==");
+        let mut config = template.clone();
+        config.policies = policies;
+        let result = run_experiment(&config);
+        println!("{}", table::render(&result));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,156 @@
+//! Regenerates the paper's Figure 6: normalized energy vs total
+//! (m,k)-utilization for `MKSS_ST`, `MKSS_DP`, and `MKSS_selective`
+//! under the three fault scenarios.
+//!
+//! ```text
+//! fig6 [--scenario no-fault|permanent|combined|all]
+//!      [--sets N] [--from U] [--to U] [--horizon-ms MS]
+//!      [--seed S] [--policies st,dp,selective,...] [--json FILE]
+//! ```
+
+use std::process::ExitCode;
+
+use mkss_bench::experiment::{run_experiment, run_replicated, ExperimentConfig, Scenario};
+use mkss_bench::table;
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+
+struct Args {
+    scenarios: Vec<Scenario>,
+    config_template: ExperimentConfig,
+    json: Option<String>,
+    html: Option<String>,
+    replications: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scenarios = Scenario::ALL.to_vec();
+    let mut template = ExperimentConfig::fig6(Scenario::NoFault);
+    let mut json = None;
+    let mut html = None;
+    let mut replications = 1u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => {
+                let v = value()?;
+                scenarios = if v == "all" {
+                    Scenario::ALL.to_vec()
+                } else {
+                    vec![v.parse()?]
+                };
+            }
+            "--sets" => {
+                template.plan.sets_per_bucket =
+                    value()?.parse().map_err(|e| format!("--sets: {e}"))?
+            }
+            "--from" => template.plan.from = value()?.parse().map_err(|e| format!("--from: {e}"))?,
+            "--to" => template.plan.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
+            "--horizon-ms" => {
+                template.horizon =
+                    Time::from_ms(value()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?)
+            }
+            "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--policies" => {
+                template.policies = value()?
+                    .split(',')
+                    .map(|s| s.trim().parse::<PolicyKind>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--fault-window" => {
+                let v = value()?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| "--fault-window expects LO..HI fractions".to_string())?;
+                template.permanent_fault_window = (
+                    lo.parse().map_err(|e| format!("--fault-window: {e}"))?,
+                    hi.parse().map_err(|e| format!("--fault-window: {e}"))?,
+                );
+            }
+            "--json" => json = Some(value()?),
+            "--html" => html = Some(value()?),
+            "--replications" => {
+                replications = value()?
+                    .parse()
+                    .map_err(|e| format!("--replications: {e}"))?;
+                if replications == 0 {
+                    return Err("--replications must be at least 1".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: fig6 [--scenario no-fault|permanent|combined|all] [--sets N] \
+                     [--from U] [--to U] [--horizon-ms MS] [--seed S] \
+                     [--policies st,dp,selective,...] [--fault-window LO..HI] \
+                     [--replications N] [--json FILE] [--html FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Args {
+        scenarios,
+        config_template: template,
+        json,
+        html,
+        replications,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut all_results = Vec::new();
+    for scenario in &args.scenarios {
+        let mut config = args.config_template.clone();
+        config.scenario = *scenario;
+        eprintln!(
+            "running {} ({} buckets x {} sets, horizon {})…",
+            scenario.panel(),
+            ((config.plan.to - config.plan.from) / config.plan.width).round() as usize,
+            config.plan.sets_per_bucket,
+            config.horizon,
+        );
+        if args.replications > 1 {
+            let replicated = run_replicated(&config, args.replications);
+            println!("{}", table::render_replicated(&replicated));
+        }
+        let result = run_experiment(&config);
+        println!("{}", table::render(&result));
+        all_results.push(result);
+    }
+    if let Some(path) = args.html {
+        if let Err(e) = std::fs::write(&path, mkss_bench::report_html::render_report(&all_results))
+        {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.json {
+        match serde_json::to_string_pretty(&all_results) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("error serializing results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,48 @@
+//! Schedulability-ratio experiment (extension beyond the paper's
+//! Figure 6): fraction of random Section-V task sets provably
+//! schedulable per (m,k)-utilization bucket, under the deeply-red RTA,
+//! plus the exact hyperperiod sweep, plus Quan-&-Hu-style pattern
+//! rotation.
+//!
+//! ```text
+//! schedulability [--samples N] [--from U] [--to U] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+
+use mkss_bench::sched::{render, schedulability_experiment, SchedConfig};
+
+fn main() -> ExitCode {
+    let mut config = SchedConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--samples" => {
+                    config.samples_per_bucket =
+                        value()?.parse().map_err(|e| format!("--samples: {e}"))?
+                }
+                "--from" => config.from = value()?.parse().map_err(|e| format!("--from: {e}"))?,
+                "--to" => config.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
+                "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--help" | "-h" => {
+                    println!("usage: schedulability [--samples N] [--from U] [--to U] [--seed S]");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let rows = schedulability_experiment(&config);
+    print!("{}", render(&rows));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,93 @@
+//! Sensitivity analysis of the model parameters the paper leaves open:
+//! the DPD break-even time `T_be`, the idle (leakage) power, and the
+//! transient fault rate. For each knob value the harness reports the
+//! mean normalized energy of `MKSS_DP` and `MKSS_selective` on a fixed
+//! mid-utilization workload — showing how robust the Figure-6
+//! conclusions are to the unspecified parameters.
+//!
+//! ```text
+//! sensitivity [--sets N] [--horizon-ms MS] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+
+use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+
+fn base_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fig6(Scenario::NoFault);
+    cfg.plan.from = 0.4;
+    cfg.plan.to = 0.6;
+    cfg.plan.sets_per_bucket = 10;
+    cfg.horizon = Time::from_ms(600);
+    cfg
+}
+
+fn report_line(cfg: &ExperimentConfig, label: &str) {
+    let result = run_experiment(cfg);
+    println!(
+        "{label:>22}: dp {:.4}  selective {:.4}  (violations {})",
+        result.mean_normalized(PolicyKind::DualPriority),
+        result.mean_normalized(PolicyKind::Selective),
+        result.total_violations(),
+    );
+}
+
+fn main() -> ExitCode {
+    let mut template = base_config();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--sets" => {
+                    template.plan.sets_per_bucket =
+                        value()?.parse().map_err(|e| format!("--sets: {e}"))?
+                }
+                "--horizon-ms" => {
+                    template.horizon =
+                        Time::from_ms(value()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?)
+                }
+                "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--help" | "-h" => {
+                    println!("usage: sensitivity [--sets N] [--horizon-ms MS] [--seed S]");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("== sensitivity: DPD break-even time T_be (idle power 0.1) ==");
+    for tbe_us in [100u64, 500, 1_000, 5_000, 20_000] {
+        let mut cfg = template.clone();
+        cfg.power.t_be = Time::from_us(tbe_us);
+        report_line(&cfg, &format!("T_be = {}", Time::from_us(tbe_us)));
+    }
+
+    println!("\n== sensitivity: idle (leakage) power, fraction of P_act ==");
+    for p_idle in [0.0, 0.05, 0.1, 0.3, 1.0] {
+        let mut cfg = template.clone();
+        cfg.power.p_idle = p_idle;
+        report_line(&cfg, &format!("p_idle = {p_idle}"));
+    }
+
+    println!("\n== sensitivity: transient fault rate (permanent+transient scenario) ==");
+    for rate in [0.0, 1e-6, 1e-4, 1e-3, 1e-2] {
+        let mut cfg = template.clone();
+        cfg.scenario = Scenario::Combined;
+        cfg.transient_rate_per_ms = rate;
+        report_line(&cfg, &format!("λ = {rate}/ms"));
+    }
+
+    ExitCode::SUCCESS
+}

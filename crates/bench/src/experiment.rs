@@ -1,0 +1,474 @@
+//! The Figure-6 experiment pipeline: workload generation → per-scenario
+//! fault plans → simulation of every policy → normalization against
+//! `MKSS_ST`.
+
+use std::collections::BTreeMap;
+
+use mkss_core::task::TaskSet;
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+use mkss_sim::engine::{simulate, SimConfig};
+use mkss_sim::fault::FaultConfig;
+use mkss_sim::power::PowerModel;
+use mkss_sim::proc::ProcId;
+use mkss_workload::{generate_buckets, BucketPlan, WorkloadConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three fault scenarios of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Fig. 6(a): no fault occurs within the simulated span.
+    NoFault,
+    /// Fig. 6(b): one permanent fault at a random instant on a random
+    /// processor.
+    Permanent,
+    /// Fig. 6(c): the permanent fault plus Poisson transient faults.
+    Combined,
+}
+
+impl Scenario {
+    /// All scenarios, in the paper's panel order.
+    pub const ALL: [Scenario; 3] = [Scenario::NoFault, Scenario::Permanent, Scenario::Combined];
+
+    /// Stable identifier, also used by the `fig6` binary's `--scenario`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Scenario::NoFault => "no-fault",
+            Scenario::Permanent => "permanent",
+            Scenario::Combined => "combined",
+        }
+    }
+
+    /// The figure panel this scenario reproduces.
+    pub fn panel(self) -> &'static str {
+        match self {
+            Scenario::NoFault => "Fig. 6(a)",
+            Scenario::Permanent => "Fig. 6(b)",
+            Scenario::Combined => "Fig. 6(c)",
+        }
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scenario::ALL
+            .into_iter()
+            .find(|sc| sc.id() == s)
+            .ok_or_else(|| format!("unknown scenario '{s}'; expected no-fault|permanent|combined"))
+    }
+}
+
+/// Full configuration of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Fault scenario.
+    pub scenario: Scenario,
+    /// Policies to compare (the normalization reference `MKSS_ST` is
+    /// always simulated regardless).
+    pub policies: Vec<PolicyKind>,
+    /// Workload generator parameters.
+    pub workload: WorkloadConfig,
+    /// Utilization bucketing plan.
+    pub plan: BucketPlan,
+    /// Simulated span per task set (the paper simulates "within the
+    /// hyper period"; random-period hyperperiods are astronomically
+    /// large, so a fixed span is used — shapes are insensitive to it).
+    pub horizon: Time,
+    /// Power model.
+    pub power: PowerModel,
+    /// Transient fault rate per millisecond (used by
+    /// [`Scenario::Combined`]; the paper uses `1e-6`).
+    pub transient_rate_per_ms: f64,
+    /// Window, as fractions of the horizon, in which the permanent
+    /// fault's instant is drawn uniformly. `(0.0, 1.0)` = anywhere
+    /// (default); the paper observes that its permanent-fault energies
+    /// stay "similar to the case when no fault ever occurred", which
+    /// corresponds to a late window such as `(0.9, 1.0)`.
+    pub permanent_fault_window: (f64, f64),
+    /// Master seed; workloads and fault plans derive from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's Figure-6 setup for one scenario.
+    pub fn fig6(scenario: Scenario) -> Self {
+        ExperimentConfig {
+            scenario,
+            policies: PolicyKind::PAPER.to_vec(),
+            workload: WorkloadConfig::paper(),
+            plan: BucketPlan::default(),
+            horizon: Time::from_ms(1_000),
+            power: PowerModel::default(),
+            transient_rate_per_ms: 1e-6,
+            permanent_fault_window: (0.0, 1.0),
+            seed: 0x6d6b_7373, // "mkss"
+        }
+    }
+
+    /// Fault configuration for one task set (deterministic per
+    /// `set_index`; identical across policies so the comparison is fair).
+    pub fn fault_plan(&self, set_index: u64) -> FaultConfig {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (0xfa17 + set_index));
+        let (w_lo, w_hi) = self.permanent_fault_window;
+        let lo = (self.horizon.ticks() as f64 * w_lo) as u64;
+        let hi = ((self.horizon.ticks() as f64 * w_hi) as u64).max(lo + 1);
+        let permanent_at = Time::from_ticks(rng.gen_range(lo..hi));
+        let proc = if rng.gen_bool(0.5) {
+            ProcId::PRIMARY
+        } else {
+            ProcId::SPARE
+        };
+        let transient_seed = rng.gen();
+        match self.scenario {
+            Scenario::NoFault => FaultConfig::none(),
+            Scenario::Permanent => FaultConfig::permanent(proc, permanent_at),
+            Scenario::Combined => FaultConfig::combined(
+                proc,
+                permanent_at,
+                self.transient_rate_per_ms,
+                transient_seed,
+            ),
+        }
+    }
+}
+
+/// Result row for one utilization bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BucketResult {
+    /// Bucket midpoint ((m,k)-utilization).
+    pub midpoint: f64,
+    /// Number of schedulable task sets simulated.
+    pub sets: usize,
+    /// Task sets generated to fill the bucket.
+    pub generated: u64,
+    /// Mean energy normalized to `MKSS_ST`, per policy.
+    pub normalized: BTreeMap<PolicyKind, f64>,
+    /// Mean absolute energy in unit-ms, per policy.
+    pub absolute: BTreeMap<PolicyKind, f64>,
+    /// Total (m,k)-violations observed per policy (expected 0).
+    pub violations: BTreeMap<PolicyKind, u64>,
+}
+
+/// Result of a whole experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced it.
+    pub config: ExperimentConfig,
+    /// One row per utilization bucket.
+    pub buckets: Vec<BucketResult>,
+}
+
+impl ExperimentResult {
+    /// Maximum energy reduction (in percent) of `a` relative to `b`
+    /// across all buckets — the paper's headline "up to X%" numbers
+    /// (e.g. `MKSS_selective` vs `MKSS_DP`).
+    pub fn max_reduction_pct(&self, a: PolicyKind, b: PolicyKind) -> f64 {
+        self.buckets
+            .iter()
+            .filter_map(|bkt| {
+                let ea = bkt.normalized.get(&a)?;
+                let eb = bkt.normalized.get(&b)?;
+                if *eb > 0.0 {
+                    Some((1.0 - ea / eb) * 100.0)
+                } else {
+                    None
+                }
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean normalized energy of `policy` across buckets.
+    pub fn mean_normalized(&self, policy: PolicyKind) -> f64 {
+        let values: Vec<f64> = self
+            .buckets
+            .iter()
+            .filter_map(|b| b.normalized.get(&policy).copied())
+            .collect();
+        if values.is_empty() {
+            return f64::NAN;
+        }
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// Total violations across all buckets and policies (expected 0 in
+    /// every scenario — Theorem 1 plus fault tolerance).
+    pub fn total_violations(&self) -> u64 {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.violations.values())
+            .sum()
+    }
+}
+
+/// Runs the experiment: generates the bucketed workloads, simulates every
+/// policy on every set under the scenario's fault plan, and aggregates
+/// normalized energies.
+///
+/// Task sets where a policy cannot be built (not R-pattern schedulable —
+/// excluded by the generator already) or where the reference consumes no
+/// energy are skipped defensively.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    let buckets = generate_buckets(config.workload, config.plan, config.seed);
+    let mut policies = config.policies.clone();
+    if !policies.contains(&PolicyKind::Static) {
+        policies.push(PolicyKind::Static);
+    }
+    let mut results = Vec::with_capacity(buckets.len());
+    let mut set_counter = 0u64;
+    for bucket in &buckets {
+        let mut sums: BTreeMap<PolicyKind, f64> = BTreeMap::new();
+        let mut abs_sums: BTreeMap<PolicyKind, f64> = BTreeMap::new();
+        let mut violations: BTreeMap<PolicyKind, u64> = BTreeMap::new();
+        let mut counted = 0usize;
+        for ts in &bucket.sets {
+            let faults = config.fault_plan(set_counter);
+            set_counter += 1;
+            if let Some(row) = simulate_set(ts, &policies, config, faults) {
+                counted += 1;
+                for (kind, (norm, abs, viol)) in row {
+                    *sums.entry(kind).or_default() += norm;
+                    *abs_sums.entry(kind).or_default() += abs;
+                    *violations.entry(kind).or_default() += viol;
+                }
+            }
+        }
+        let normalized = sums
+            .iter()
+            .map(|(&k, &v)| (k, v / counted.max(1) as f64))
+            .collect();
+        let absolute = abs_sums
+            .iter()
+            .map(|(&k, &v)| (k, v / counted.max(1) as f64))
+            .collect();
+        results.push(BucketResult {
+            midpoint: bucket.midpoint(),
+            sets: counted,
+            generated: bucket.generated,
+            normalized,
+            absolute,
+            violations,
+        });
+    }
+    ExperimentResult {
+        config: config.clone(),
+        buckets: results,
+    }
+}
+
+/// Mean-and-spread of one quantity across replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spread {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single replication).
+    pub std: f64,
+}
+
+impl Spread {
+    fn of(values: &[f64]) -> Spread {
+        let n = values.len().max(1) as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Spread {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// Result of [`run_replicated`]: per-bucket, per-policy mean ± std of the
+/// normalized energy across independent replications (each replication
+/// regenerates its workloads and fault plans from a distinct master
+/// seed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicatedResult {
+    /// The base configuration (its seed is the first replication's).
+    pub config: ExperimentConfig,
+    /// Replications run.
+    pub replications: u32,
+    /// Bucket midpoints (same order as the rows).
+    pub midpoints: Vec<f64>,
+    /// `spreads[bucket][policy]`.
+    pub spreads: Vec<BTreeMap<PolicyKind, Spread>>,
+    /// Total violations across every run of every replication.
+    pub total_violations: u64,
+}
+
+/// Runs `replications` independent instances of the experiment and
+/// aggregates the per-bucket normalized energies.
+///
+/// # Panics
+///
+/// Panics if `replications` is zero.
+///
+/// ```
+/// use mkss_bench::experiment::{run_replicated, ExperimentConfig, Scenario};
+/// use mkss_core::time::Time;
+/// use mkss_policies::PolicyKind;
+///
+/// let mut cfg = ExperimentConfig::fig6(Scenario::NoFault);
+/// cfg.plan.sets_per_bucket = 2;
+/// cfg.plan.from = 0.3;
+/// cfg.plan.to = 0.4;
+/// cfg.horizon = Time::from_ms(200);
+/// let result = run_replicated(&cfg, 3);
+/// assert_eq!(result.replications, 3);
+/// let sel = result.spreads[0][&PolicyKind::Selective];
+/// assert!(sel.mean > 0.0 && sel.std >= 0.0);
+/// ```
+pub fn run_replicated(config: &ExperimentConfig, replications: u32) -> ReplicatedResult {
+    assert!(replications >= 1, "need at least one replication");
+    let mut per_bucket: Vec<BTreeMap<PolicyKind, Vec<f64>>> = Vec::new();
+    let mut midpoints: Vec<f64> = Vec::new();
+    let mut total_violations = 0;
+    for r in 0..replications {
+        let mut cfg = config.clone();
+        cfg.seed = config
+            .seed
+            .wrapping_add(u64::from(r).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let result = run_experiment(&cfg);
+        total_violations += result.total_violations();
+        if midpoints.is_empty() {
+            midpoints = result.buckets.iter().map(|b| b.midpoint).collect();
+            per_bucket = vec![BTreeMap::new(); midpoints.len()];
+        }
+        for (i, bucket) in result.buckets.iter().enumerate() {
+            if bucket.sets == 0 {
+                continue;
+            }
+            for (&kind, &value) in &bucket.normalized {
+                per_bucket[i].entry(kind).or_default().push(value);
+            }
+        }
+    }
+    let spreads = per_bucket
+        .into_iter()
+        .map(|m| {
+            m.into_iter()
+                .map(|(k, values)| (k, Spread::of(&values)))
+                .collect()
+        })
+        .collect();
+    ReplicatedResult {
+        config: config.clone(),
+        replications,
+        midpoints,
+        spreads,
+        total_violations,
+    }
+}
+
+/// Simulates all policies on one set; returns per-policy
+/// (normalized, absolute, violations).
+fn simulate_set(
+    ts: &TaskSet,
+    policies: &[PolicyKind],
+    config: &ExperimentConfig,
+    faults: FaultConfig,
+) -> Option<BTreeMap<PolicyKind, (f64, f64, u64)>> {
+    let sim_config = SimConfig {
+        horizon: config.horizon,
+        power: config.power,
+        faults,
+        record_trace: false,
+    };
+    let mut energies: BTreeMap<PolicyKind, (f64, u64)> = BTreeMap::new();
+    for &kind in policies {
+        let mut policy = kind.build(ts).ok()?;
+        let report = simulate(ts, policy.as_mut(), &sim_config);
+        energies.insert(
+            kind,
+            (
+                report.total_energy().units(),
+                report.violations.len() as u64,
+            ),
+        );
+    }
+    let (reference, _) = *energies.get(&PolicyKind::Static)?;
+    if reference <= 0.0 {
+        return None;
+    }
+    Some(
+        energies
+            .into_iter()
+            .map(|(k, (e, v))| (k, (e / reference, e, v)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(scenario: Scenario) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::fig6(scenario);
+        cfg.plan.sets_per_bucket = 3;
+        cfg.plan.from = 0.2;
+        cfg.plan.to = 0.6;
+        cfg.horizon = Time::from_ms(400);
+        cfg
+    }
+
+    #[test]
+    fn scenario_parsing() {
+        assert_eq!("no-fault".parse::<Scenario>().unwrap(), Scenario::NoFault);
+        assert_eq!("combined".parse::<Scenario>().unwrap(), Scenario::Combined);
+        assert!("x".parse::<Scenario>().is_err());
+        assert_eq!(Scenario::Permanent.panel(), "Fig. 6(b)");
+    }
+
+    #[test]
+    fn fault_plans_deterministic_and_scenario_appropriate() {
+        let cfg = quick_config(Scenario::Permanent);
+        let a = cfg.fault_plan(3);
+        let b = cfg.fault_plan(3);
+        assert_eq!(a, b);
+        assert!(a.permanent.is_some());
+        assert_eq!(a.transient_rate_per_ms, 0.0);
+        let c = quick_config(Scenario::Combined).fault_plan(3);
+        assert!(c.transient_rate_per_ms > 0.0);
+        assert!(quick_config(Scenario::NoFault).fault_plan(3).permanent.is_none());
+    }
+
+    #[test]
+    fn no_fault_ordering_matches_paper() {
+        let result = run_experiment(&quick_config(Scenario::NoFault));
+        assert_eq!(result.total_violations(), 0);
+        for bucket in &result.buckets {
+            assert!(bucket.sets > 0, "bucket {} empty", bucket.midpoint);
+            let st = bucket.normalized[&PolicyKind::Static];
+            let dp = bucket.normalized[&PolicyKind::DualPriority];
+            let sel = bucket.normalized[&PolicyKind::Selective];
+            assert!((st - 1.0).abs() < 1e-9);
+            assert!(dp <= st + 1e-9, "DP {dp} vs ST {st} at {}", bucket.midpoint);
+            assert!(sel <= st + 1e-9, "selective {sel} vs ST at {}", bucket.midpoint);
+            // Selective and DP track each other within a band; see
+            // EXPERIMENTS.md for the measured crossover.
+            assert!(
+                (sel - dp).abs() <= 0.15,
+                "selective {sel} vs DP {dp} diverged at {}",
+                bucket.midpoint
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_fault_scenario_keeps_guarantee() {
+        let result = run_experiment(&quick_config(Scenario::Permanent));
+        assert_eq!(result.total_violations(), 0);
+    }
+
+    #[test]
+    fn combined_scenario_keeps_guarantee() {
+        let result = run_experiment(&quick_config(Scenario::Combined));
+        assert_eq!(result.total_violations(), 0);
+    }
+}

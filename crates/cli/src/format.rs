@@ -1,0 +1,158 @@
+//! Human-friendly JSON task-set format for the CLI.
+//!
+//! ```json
+//! {
+//!   "tasks": [
+//!     { "period_ms": 5,  "deadline_ms": 4, "wcet_ms": 3, "m": 2, "k": 4 },
+//!     { "period_ms": 10,                   "wcet_ms": 3, "m": 1, "k": 2 }
+//!   ]
+//! }
+//! ```
+//!
+//! Times are (possibly fractional) milliseconds with microsecond
+//! resolution; `deadline_ms` defaults to the period. Task order is
+//! priority order (first = highest), matching the paper's convention.
+
+use mkss_core::task::{Task, TaskSet};
+use mkss_core::time::{Time, TICKS_PER_MS};
+use serde::{Deserialize, Serialize};
+
+use crate::CliError;
+
+/// One task entry of the JSON format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Period in milliseconds.
+    pub period_ms: f64,
+    /// Relative deadline in milliseconds (defaults to the period).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<f64>,
+    /// Worst-case execution time in milliseconds.
+    pub wcet_ms: f64,
+    /// Minimum completions per window.
+    pub m: u32,
+    /// Window length.
+    pub k: u32,
+}
+
+/// The JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSetSpec {
+    /// Tasks in priority order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+fn ms_to_time(ms: f64, what: &str) -> Result<Time, CliError> {
+    if !ms.is_finite() || ms < 0.0 {
+        return Err(CliError::Input(format!("{what} must be a finite non-negative number, got {ms}")));
+    }
+    Ok(Time::from_ticks((ms * TICKS_PER_MS as f64).round() as u64))
+}
+
+impl TaskSetSpec {
+    /// Converts the document into a validated [`TaskSet`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the task-model validation errors with the offending
+    /// task index.
+    pub fn to_task_set(&self) -> Result<TaskSet, CliError> {
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for (i, spec) in self.tasks.iter().enumerate() {
+            let period = ms_to_time(spec.period_ms, "period_ms")?;
+            let deadline = match spec.deadline_ms {
+                Some(d) => ms_to_time(d, "deadline_ms")?,
+                None => period,
+            };
+            let wcet = ms_to_time(spec.wcet_ms, "wcet_ms")?;
+            let task = Task::new(period, deadline, wcet, spec.m, spec.k)
+                .map_err(|e| CliError::Input(format!("task {}: {e}", i + 1)))?;
+            tasks.push(task);
+        }
+        TaskSet::new(tasks).map_err(|e| CliError::Input(e.to_string()))
+    }
+
+    /// Builds the document from a task set.
+    pub fn from_task_set(ts: &TaskSet) -> Self {
+        TaskSetSpec {
+            tasks: ts
+                .iter()
+                .map(|(_, t)| TaskSpec {
+                    period_ms: t.period().as_ms_f64(),
+                    deadline_ms: (t.deadline() != t.period()).then(|| t.deadline().as_ms_f64()),
+                    wcet_ms: t.wcet().as_ms_f64(),
+                    m: t.mk().m(),
+                    k: t.mk().k(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses the JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Input`] on malformed JSON.
+    pub fn parse(json: &str) -> Result<Self, CliError> {
+        serde_json::from_str(json).map_err(|e| CliError::Input(format!("invalid task set JSON: {e}")))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "tasks": [
+            { "period_ms": 5, "deadline_ms": 4, "wcet_ms": 3, "m": 2, "k": 4 },
+            { "period_ms": 10, "wcet_ms": 3, "m": 1, "k": 2 }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_and_convert() {
+        let spec = TaskSetSpec::parse(SAMPLE).unwrap();
+        let ts = spec.to_task_set().unwrap();
+        assert_eq!(ts.len(), 2);
+        let t1 = ts.task(mkss_core::task::TaskId(0));
+        assert_eq!(t1.deadline(), Time::from_ms(4));
+        let t2 = ts.task(mkss_core::task::TaskId(1));
+        assert_eq!(t2.deadline(), Time::from_ms(10), "deadline defaults to period");
+    }
+
+    #[test]
+    fn fractional_milliseconds() {
+        let spec = TaskSetSpec::parse(
+            r#"{ "tasks": [ { "period_ms": 5, "deadline_ms": 2.5, "wcet_ms": 2, "m": 2, "k": 4 } ] }"#,
+        )
+        .unwrap();
+        let ts = spec.to_task_set().unwrap();
+        assert_eq!(ts.task(mkss_core::task::TaskId(0)).deadline(), Time::from_us(2_500));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let spec = TaskSetSpec::parse(SAMPLE).unwrap();
+        let ts = spec.to_task_set().unwrap();
+        let back = TaskSetSpec::from_task_set(&ts);
+        let ts2 = back.to_task_set().unwrap();
+        assert_eq!(ts, ts2);
+    }
+
+    #[test]
+    fn invalid_inputs_are_reported() {
+        assert!(TaskSetSpec::parse("{").is_err());
+        let bad_mk = r#"{ "tasks": [ { "period_ms": 5, "wcet_ms": 3, "m": 4, "k": 4 } ] }"#;
+        let err = TaskSetSpec::parse(bad_mk).unwrap().to_task_set().unwrap_err();
+        assert!(err.to_string().contains("task 1"));
+        let neg = r#"{ "tasks": [ { "period_ms": -5, "wcet_ms": 3, "m": 1, "k": 4 } ] }"#;
+        assert!(TaskSetSpec::parse(neg).unwrap().to_task_set().is_err());
+        let empty = r#"{ "tasks": [] }"#;
+        assert!(TaskSetSpec::parse(empty).unwrap().to_task_set().is_err());
+    }
+}

@@ -1,0 +1,555 @@
+//! # mkss-cli
+//!
+//! Command-line front end for the `mkss` standby-sparing toolkit:
+//!
+//! ```text
+//! mkss-cli analyze  <taskset.json>
+//! mkss-cli simulate <taskset.json> --policy selective --horizon-ms 1000
+//!                   [--permanent primary@7] [--transient 1e-6] [--seed 42]
+//!                   [--gantt] [--vcd out.vcd] [--active-only]
+//! mkss-cli generate --util 0.45 --seed 7 [--tasks 5..10]
+//! mkss-cli policies
+//! ```
+//!
+//! The command logic lives in [`run`] (returning the full stdout text) so
+//! the whole surface is unit-testable without spawning processes; the
+//! binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mkss_analysis::postpone::{postponement_intervals, PostponeConfig};
+use mkss_analysis::rta::{analyze, InterferenceModel};
+use mkss_core::mk::Pattern;
+use mkss_core::task::TaskSet;
+use mkss_core::time::Time;
+use mkss_policies::PolicyKind;
+use mkss_sim::engine::{simulate, SimConfig};
+use mkss_sim::fault::FaultConfig;
+use mkss_sim::power::PowerModel;
+use mkss_sim::proc::ProcId;
+use mkss_sim::vcd::render_vcd;
+use mkss_workload::{Generator, WorkloadConfig};
+
+use format::TaskSetSpec;
+
+/// CLI error: bad usage/input, or an I/O failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Invalid flags or file contents.
+    Input(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl StdError for CliError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Input(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: mkss-cli <command> [args]
+
+commands:
+  analyze  <taskset.json>                      schedulability, Y and θ analysis
+  simulate <taskset.json> [--policy P] [--horizon-ms N] [--seed S]
+           [--permanent primary@MS|spare@MS] [--transient RATE_PER_MS]
+           [--gantt] [--vcd FILE] [--active-only]
+  compare  <taskset.json> [--horizon-ms N]     run every policy, print one row each
+  generate [--util U] [--seed S] [--tasks MIN..MAX]  emit a schedulable set as JSON
+  policies                                     list available policies
+";
+
+/// Executes a CLI invocation and returns its stdout text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands/flags, malformed inputs, or
+/// I/O failures. The binary prints the error and exits non-zero.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Input(USAGE.to_owned()));
+    };
+    match command.as_str() {
+        "analyze" => cmd_analyze(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "policies" => Ok(cmd_policies()),
+        "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Input(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+fn load_task_set(path: &str) -> Result<TaskSet, CliError> {
+    let body = std::fs::read_to_string(path)?;
+    TaskSetSpec::parse(&body)?.to_task_set()
+}
+
+fn cmd_policies() -> String {
+    let mut out = String::new();
+    for kind in PolicyKind::ALL {
+        out.push_str(&format!("{:<20} {:?}\n", kind.id(), kind));
+    }
+    out
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::Input("analyze expects exactly one task-set file".into()));
+    };
+    let ts = load_task_set(path)?;
+    let mut out = String::new();
+    out.push_str(&ts.to_string());
+    out.push_str(&format!(
+        "utilization: {:.4}   (m,k)-utilization: {:.4}   hyperperiod: {}\n",
+        ts.utilization(),
+        ts.mk_utilization(),
+        ts.hyperperiod(),
+    ));
+    let report = analyze(&ts, InterferenceModel::MandatoryOnly(Pattern::DeeplyRed));
+    out.push_str(&format!(
+        "schedulable under R-pattern: {}\n",
+        report.schedulable()
+    ));
+    for t in &report.tasks {
+        match t.response_time {
+            Some(r) => out.push_str(&format!("  {}: R = {r}\n", t.task)),
+            None => out.push_str(&format!("  {}: deadline miss\n", t.task)),
+        }
+    }
+    if report.schedulable() {
+        let post = postponement_intervals(&ts, PostponeConfig::default())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        for (id, _) in ts.iter() {
+            out.push_str(&format!(
+                "  {id}: promotion Y = {}, postponement θ = {}\n",
+                post.promotion[id.0], post.theta[id.0]
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
+    let Some(path) = args.first() else {
+        return Err(CliError::Input("simulate expects a task-set file".into()));
+    };
+    let ts = load_task_set(path)?;
+    let mut policy_kind = PolicyKind::Selective;
+    let mut horizon = Time::from_ms(1_000);
+    let mut faults = FaultConfig::none();
+    let mut gantt = false;
+    let mut vcd_path: Option<String> = None;
+    let mut power = PowerModel::default();
+    let mut seed = 0u64;
+    let mut transient = 0.0f64;
+    let mut permanent: Option<(ProcId, Time)> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Input(format!("flag {flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--policy" => {
+                policy_kind = value()?
+                    .parse()
+                    .map_err(|e: mkss_policies::registry::ParsePolicyKindError| {
+                        CliError::Input(e.to_string())
+                    })?
+            }
+            "--horizon-ms" => {
+                horizon = Time::from_ms(
+                    value()?
+                        .parse()
+                        .map_err(|e| CliError::Input(format!("--horizon-ms: {e}")))?,
+                )
+            }
+            "--seed" => {
+                seed = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--seed: {e}")))?
+            }
+            "--transient" => {
+                transient = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--transient: {e}")))?
+            }
+            "--permanent" => {
+                let v = value()?;
+                let (proc, at) = v
+                    .split_once('@')
+                    .ok_or_else(|| CliError::Input("--permanent expects primary@MS or spare@MS".into()))?;
+                let proc = match proc {
+                    "primary" => ProcId::PRIMARY,
+                    "spare" => ProcId::SPARE,
+                    other => {
+                        return Err(CliError::Input(format!("unknown processor '{other}'")))
+                    }
+                };
+                let ms: u64 = at
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--permanent time: {e}")))?;
+                permanent = Some((proc, Time::from_ms(ms)));
+            }
+            "--gantt" => gantt = true,
+            "--vcd" => vcd_path = Some(value()?),
+            "--active-only" => power = PowerModel::active_only(),
+            other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
+        }
+    }
+    faults.transient_rate_per_ms = transient;
+    faults.seed = seed;
+    if let Some((proc, at)) = permanent {
+        faults.permanent = Some(mkss_sim::fault::PermanentFault { proc, at });
+    }
+
+    let mut policy = policy_kind
+        .build(&ts)
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let config = SimConfig {
+        horizon,
+        power,
+        faults,
+        record_trace: gantt || vcd_path.is_some(),
+    };
+    let report = simulate(&ts, policy.as_mut(), &config);
+
+    let mut out = String::new();
+    out.push_str(&format!("policy: {}\n", report.policy));
+    out.push_str(&format!(
+        "energy: total {} (active {}), per processor: primary {} / spare {}\n",
+        report.total_energy(),
+        report.active_energy(),
+        report.energy[0].total(),
+        report.energy[1].total(),
+    ));
+    out.push_str(&format!(
+        "jobs: released {}, mandatory {}, optional selected {}, skipped {}, abandoned {}\n",
+        report.stats.released,
+        report.stats.mandatory,
+        report.stats.optional_selected,
+        report.stats.optional_skipped,
+        report.stats.optional_abandoned,
+    ));
+    out.push_str(&format!(
+        "outcomes: met {}, missed {}; backups canceled {}, completed {}; transient faults {}, copies lost {}\n",
+        report.stats.met,
+        report.stats.missed,
+        report.stats.backups_canceled,
+        report.stats.backups_completed,
+        report.stats.transient_faults,
+        report.stats.copies_lost,
+    ));
+    out.push_str(&format!("(m,k) assured: {}\n", report.mk_assured()));
+    for v in &report.violations {
+        out.push_str(&format!("  violation: task {} at job {}\n", v.task, v.job_index));
+    }
+    if let Some(trace) = &report.trace {
+        if gantt {
+            out.push_str(&trace.render_gantt_ms(horizon.min(Time::from_ms(120))));
+        }
+        if let Some(path) = vcd_path {
+            std::fs::write(&path, render_vcd(trace, ts.len()))?;
+            out.push_str(&format!("wrote VCD to {path}\n"));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_compare(args: &[String]) -> Result<String, CliError> {
+    let Some(path) = args.first() else {
+        return Err(CliError::Input("compare expects a task-set file".into()));
+    };
+    let ts = load_task_set(path)?;
+    let mut horizon = Time::from_ms(1_000);
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--horizon-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::Input("--horizon-ms expects a value".into()))?;
+                horizon = Time::from_ms(
+                    v.parse()
+                        .map_err(|e| CliError::Input(format!("--horizon-ms: {e}")))?,
+                );
+            }
+            other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
+        }
+    }
+    let config = SimConfig {
+        horizon,
+        power: PowerModel::default(),
+        faults: FaultConfig::none(),
+        record_trace: false,
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>7} {:>7} {:>10}
+",
+        "policy", "total", "active", "met", "missed", "(m,k) ok"
+    ));
+    let mut reference: Option<f64> = None;
+    for kind in PolicyKind::ALL {
+        let Ok(mut policy) = kind.build(&ts) else {
+            out.push_str(&format!("{:<20} (not applicable to this set)
+", kind.id()));
+            continue;
+        };
+        let report = simulate(&ts, policy.as_mut(), &config);
+        let total = report.total_energy().units();
+        let reference = *reference.get_or_insert(total);
+        out.push_str(&format!(
+            "{:<20} {:>11.3}u {:>11.3}u {:>7} {:>7} {:>10} ({:.3}x)
+",
+            kind.id(),
+            total,
+            report.active_energy().units(),
+            report.stats.met,
+            report.stats.missed,
+            report.mk_assured(),
+            if reference > 0.0 { total / reference } else { f64::NAN },
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let mut util = 0.5f64;
+    let mut seed = 0u64;
+    let mut tasks = (5usize, 10usize);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Input(format!("flag {flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--util" => {
+                util = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--util: {e}")))?
+            }
+            "--seed" => {
+                seed = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--seed: {e}")))?
+            }
+            "--tasks" => {
+                let v = value()?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| CliError::Input("--tasks expects MIN..MAX".into()))?;
+                tasks = (
+                    lo.parse().map_err(|e| CliError::Input(format!("--tasks: {e}")))?,
+                    hi.parse().map_err(|e| CliError::Input(format!("--tasks: {e}")))?,
+                );
+            }
+            other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
+        }
+    }
+    if !(0.0..=1.0).contains(&util) || util == 0.0 {
+        return Err(CliError::Input(format!("--util must be in (0, 1], got {util}")));
+    }
+    let config = WorkloadConfig {
+        tasks_min: tasks.0,
+        tasks_max: tasks.1,
+        ..WorkloadConfig::paper()
+    };
+    let ts = Generator::new(config, seed)
+        .schedulable_set(util)
+        .ok_or_else(|| {
+            CliError::Input(format!(
+                "no schedulable set found at utilization {util} within the attempt cap"
+            ))
+        })?;
+    Ok(TaskSetSpec::from_task_set(&ts).to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample_file() -> tempfile_path::TempPath {
+        tempfile_path::write_temp(
+            r#"{ "tasks": [
+                { "period_ms": 5, "deadline_ms": 4, "wcet_ms": 3, "m": 2, "k": 4 },
+                { "period_ms": 10, "wcet_ms": 3, "m": 1, "k": 2 }
+            ] }"#,
+        )
+    }
+
+    /// Minimal tempfile helper (no external dependency).
+    mod tempfile_path {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().unwrap()
+            }
+        }
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub fn write_temp(body: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!(
+                "mkss-cli-test-{}-{n}.json",
+                std::process::id()
+            ));
+            std::fs::write(&path, body).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&args(&["--help"])).unwrap().contains("usage"));
+        assert!(run(&args(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn policies_lists_all() {
+        let out = run(&args(&["policies"])).unwrap();
+        assert!(out.contains("selective"));
+        assert!(out.contains("dp"));
+        assert_eq!(out.lines().count(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn analyze_sample() {
+        let file = sample_file();
+        let out = run(&args(&["analyze", file.as_str()])).unwrap();
+        assert!(out.contains("schedulable under R-pattern: true"));
+        assert!(out.contains("promotion Y = 1ms"));
+    }
+
+    #[test]
+    fn simulate_selective_assures_mk() {
+        let file = sample_file();
+        let out = run(&args(&[
+            "simulate",
+            file.as_str(),
+            "--policy",
+            "selective",
+            "--horizon-ms",
+            "100",
+            "--active-only",
+            "--gantt",
+        ]))
+        .unwrap();
+        assert!(out.contains("(m,k) assured: true"), "{out}");
+        assert!(out.contains("primary:"), "gantt expected: {out}");
+    }
+
+    #[test]
+    fn simulate_with_faults() {
+        let file = sample_file();
+        let out = run(&args(&[
+            "simulate",
+            file.as_str(),
+            "--policy",
+            "dp",
+            "--horizon-ms",
+            "60",
+            "--permanent",
+            "primary@7",
+            "--transient",
+            "0.001",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("copies lost"), "{out}");
+        assert!(out.contains("(m,k) assured: true"), "{out}");
+    }
+
+    #[test]
+    fn simulate_writes_vcd() {
+        let file = sample_file();
+        let vcd = std::env::temp_dir().join(format!("mkss-cli-test-{}.vcd", std::process::id()));
+        let out = run(&args(&[
+            "simulate",
+            file.as_str(),
+            "--horizon-ms",
+            "40",
+            "--vcd",
+            vcd.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote VCD"));
+        let body = std::fs::read_to_string(&vcd).unwrap();
+        assert!(body.starts_with("$timescale"));
+        let _ = std::fs::remove_file(vcd);
+    }
+
+    #[test]
+    fn compare_runs_every_policy() {
+        let file = sample_file();
+        let out = run(&args(&["compare", file.as_str(), "--horizon-ms", "100"])).unwrap();
+        for kind in PolicyKind::ALL {
+            assert!(out.contains(kind.id()), "missing {kind:?} in:\n{out}");
+        }
+        assert!(out.contains("true"));
+        assert!(!out.contains("false"), "some policy violated (m,k):\n{out}");
+    }
+
+    #[test]
+    fn generate_roundtrips() {
+        let out = run(&args(&["generate", "--util", "0.4", "--seed", "11"])).unwrap();
+        let ts = TaskSetSpec::parse(&out).unwrap().to_task_set().unwrap();
+        assert!((ts.mk_utilization() - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn flag_errors_are_reported() {
+        let file = sample_file();
+        assert!(run(&args(&["simulate", file.as_str(), "--policy", "nope"])).is_err());
+        assert!(run(&args(&["simulate", file.as_str(), "--permanent", "weird"])).is_err());
+        assert!(run(&args(&["generate", "--util", "0"])).is_err());
+        assert!(run(&args(&["analyze", "/no/such/file.json"])).is_err());
+    }
+}

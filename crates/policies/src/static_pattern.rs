@@ -1,0 +1,202 @@
+//! `MKSS_ST` — the static reference scheme of the evaluation (Section V).
+//!
+//! Task sets are partitioned with the static deeply-red pattern; mandatory
+//! jobs execute concurrently on both processors (main on the primary,
+//! backup on the spare, no procrastination), and optional jobs are never
+//! executed. This is the energy *reference* the paper normalizes against.
+
+use mkss_core::mk::Pattern;
+use mkss_sim::policy::{Policy, ReleaseCtx, ReleaseDecision};
+use mkss_sim::proc::ProcId;
+use mkss_core::time::Time;
+
+/// The static standby-sparing scheme (`MKSS_ST`).
+///
+/// # Examples
+///
+/// ```
+/// use mkss_core::prelude::*;
+/// use mkss_policies::MkssSt;
+/// use mkss_sim::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TaskSet::new(vec![
+///     Task::from_ms(5, 4, 3, 2, 4)?,
+///     Task::from_ms(10, 10, 3, 1, 2)?,
+/// ])?;
+/// let report = simulate(&ts, &mut MkssSt::new(), &SimConfig::active_only(Time::from_ms(20)));
+/// assert!(report.mk_assured());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MkssSt {
+    pattern: Pattern,
+}
+
+impl MkssSt {
+    /// Creates the scheme with the deeply-red pattern.
+    pub fn new() -> Self {
+        MkssSt {
+            pattern: Pattern::DeeplyRed,
+        }
+    }
+
+    /// Creates the scheme with a custom static pattern (for ablations).
+    pub fn with_pattern(pattern: Pattern) -> Self {
+        MkssSt { pattern }
+    }
+}
+
+impl Policy for MkssSt {
+    fn name(&self) -> &str {
+        match self.pattern {
+            Pattern::DeeplyRed => "MKSS_ST",
+            Pattern::EvenlyDistributed => "MKSS_ST_E",
+            _ => "MKSS_ST_custom",
+        }
+    }
+
+    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) -> ReleaseDecision {
+        let mk = ctx.history.constraint();
+        if self.pattern.is_mandatory(mk, ctx.job_index) {
+            ReleaseDecision::Mandatory {
+                main_proc: ProcId::PRIMARY,
+                backup_delay: Time::ZERO,
+            }
+        } else {
+            ReleaseDecision::Skip
+        }
+    }
+}
+
+/// The static scheme with per-task *rotated* patterns (Quan & Hu style,
+/// the paper's reference \[13\]): identical execution model to [`MkssSt`],
+/// but the mandatory positions of each task are cyclically shifted by a
+/// per-task offset found by
+/// [`mkss_analysis::rotation::find_rotation`]. Rotation de-clusters the
+/// synchronous release and rescues task sets the deeply-red pattern
+/// cannot schedule.
+///
+/// # Examples
+///
+/// ```
+/// use mkss_analysis::rotation::{find_rotation, RotationConfig};
+/// use mkss_core::prelude::*;
+/// use mkss_policies::MkssStRotated;
+/// use mkss_sim::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Deeply-red-unschedulable set rescued by rotation.
+/// let ts = TaskSet::new(vec![
+///     Task::from_ms(4, 4, 2, 2, 3)?,
+///     Task::from_ms(6, 6, 3, 1, 2)?,
+/// ])?;
+/// let assignment = find_rotation(&ts, RotationConfig::default()).expect("searchable");
+/// assert!(assignment.schedulable());
+/// let mut policy = MkssStRotated::new(assignment.patterns);
+/// let report = simulate(&ts, &mut policy, &SimConfig::active_only(ts.hyperperiod()));
+/// assert!(report.mk_assured());
+/// assert_eq!(report.stats.missed, report.stats.optional_skipped);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MkssStRotated {
+    patterns: Vec<mkss_core::mk::RotatedPattern>,
+}
+
+impl MkssStRotated {
+    /// Creates the scheme from a per-task pattern assignment (one entry
+    /// per task, priority order).
+    pub fn new(patterns: Vec<mkss_core::mk::RotatedPattern>) -> Self {
+        MkssStRotated { patterns }
+    }
+
+    /// The pattern assignment in use.
+    pub fn patterns(&self) -> &[mkss_core::mk::RotatedPattern] {
+        &self.patterns
+    }
+}
+
+impl Policy for MkssStRotated {
+    fn name(&self) -> &str {
+        "MKSS_ST_rotated"
+    }
+
+    fn on_release(&mut self, ctx: &ReleaseCtx<'_>) -> ReleaseDecision {
+        let mk = ctx.history.constraint();
+        let pattern = self.patterns[ctx.task.0];
+        if pattern.is_mandatory(mk, ctx.job_index) {
+            ReleaseDecision::Mandatory {
+                main_proc: ProcId::PRIMARY,
+                backup_delay: Time::ZERO,
+            }
+        } else {
+            ReleaseDecision::Skip
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkss_core::prelude::*;
+    use mkss_sim::prelude::*;
+
+    fn fig1_set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::from_ms(5, 4, 3, 2, 4).unwrap(),
+            Task::from_ms(10, 10, 3, 1, 2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn reference_energy_on_fig1_set() {
+        let report = simulate(
+            &fig1_set(),
+            &mut MkssSt::new(),
+            &SimConfig::active_only(Time::from_ms(20)),
+        );
+        // Main and backup start together and see identical FP schedules →
+        // no cancellation savings: 2 × (3+3+3) = 18 active units.
+        assert!((report.active_energy().units() - 18.0).abs() < 1e-9);
+        assert!(report.mk_assured());
+    }
+
+    #[test]
+    fn optional_jobs_never_execute() {
+        let report = simulate(
+            &fig1_set(),
+            &mut MkssSt::new(),
+            &SimConfig::active_only(Time::from_ms(20)),
+        );
+        assert_eq!(report.stats.optional_selected, 0);
+        assert_eq!(report.stats.optional_skipped, 3);
+    }
+
+    #[test]
+    fn mk_holds_under_permanent_fault_any_time() {
+        let ts = fig1_set();
+        for at_ms in 0..20 {
+            for proc in ProcId::ALL {
+                let mut config = SimConfig::active_only(Time::from_ms(20));
+                config.faults = FaultConfig::permanent(proc, Time::from_ms(at_ms));
+                let report = simulate(&ts, &mut MkssSt::new(), &config);
+                assert!(
+                    report.mk_assured(),
+                    "violation with {proc} fault at {at_ms}ms"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn e_pattern_variant_also_assures_mk() {
+        let ts = fig1_set();
+        let mut p = MkssSt::with_pattern(Pattern::EvenlyDistributed);
+        let report = simulate(&ts, &mut p, &SimConfig::active_only(Time::from_ms(40)));
+        assert!(report.mk_assured());
+    }
+}

@@ -1,0 +1,1007 @@
+//! The deterministic discrete-event simulator for the dual-processor
+//! standby-sparing system.
+//!
+//! The engine implements the mechanics shared by all of the paper's
+//! schemes:
+//!
+//! * per-processor preemptive fixed-priority dispatch with a mandatory
+//!   job queue (MJQ) strictly above an optional job queue (OJQ)
+//!   (Algorithm 1);
+//! * optional jobs are only dispatched while they can still finish by
+//!   their deadline, otherwise they are abandoned ("O11 will not be
+//!   invoked at all", Section III); within the OJQ, less flexible jobs
+//!   (smaller flexibility degree at release) run first (footnote 1);
+//! * sibling cancellation: the instant any copy of a mandatory job
+//!   completes fault-free, the other copy is canceled (line 3 of
+//!   Algorithm 1);
+//! * transient faults are detected at the end of each execution; a
+//!   faulted copy consumed its full time but produced nothing;
+//! * at most one permanent fault kills a processor; the survivor takes
+//!   over (future mandatory jobs run as single copies on it);
+//! * outcome bookkeeping: per-task execution histories (for the dynamic
+//!   flexibility-degree classification) and sliding (m,k)-monitors (to
+//!   report violations);
+//! * DPD energy accounting: busy intervals cost `p_active`; each maximal
+//!   idle interval longer than `T_be` is charged the break-even shutdown
+//!   cost, shorter ones idle (Section II-A).
+//!
+//! What a [`Policy`] contributes is only the per-release decision: is the
+//! job mandatory (and where do main/backup go, with what backup delay) or
+//! optional (selected on which processor, or skipped).
+
+use mkss_core::history::{JobOutcome, MkHistory};
+use mkss_core::job::{CopyKind, Job, JobClass};
+use mkss_core::mk::MkMonitor;
+use mkss_core::task::{TaskId, TaskSet};
+use mkss_core::time::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::fault::{FaultConfig, TransientSampler};
+use crate::policy::{Policy, ReleaseCtx, ReleaseDecision};
+use crate::power::{EnergyBreakdown, PowerModel};
+use crate::proc::ProcId;
+use crate::report::{JobStats, MkViolation, SimReport};
+use crate::trace::{JobResolution, Segment, SegmentEnd, Trace};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated span `[0, horizon)`. Only jobs whose absolute deadline
+    /// lies within the horizon are released, so every released job is
+    /// fully accounted for.
+    pub horizon: Time,
+    /// Power model for energy accounting.
+    pub power: PowerModel,
+    /// Fault injection.
+    pub faults: FaultConfig,
+    /// Whether to keep the full schedule trace in the report.
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// Fault-free configuration with the default power model.
+    pub fn new(horizon: Time) -> Self {
+        SimConfig {
+            horizon,
+            power: PowerModel::default(),
+            faults: FaultConfig::none(),
+            record_trace: false,
+        }
+    }
+
+    /// Same, but counting only active energy (the motivating examples'
+    /// accounting) and recording the trace.
+    pub fn active_only(horizon: Time) -> Self {
+        SimConfig {
+            horizon,
+            power: PowerModel::active_only(),
+            faults: FaultConfig::none(),
+            record_trace: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyState {
+    /// Waiting for its (possibly postponed) release, ready, or running.
+    Pending,
+    /// Finished executing; `faulted` if a transient fault hit it.
+    Done { faulted: bool },
+    /// Canceled because the sibling copy succeeded.
+    Canceled,
+    /// Optional copy abandoned (could no longer meet its deadline), or a
+    /// copy whose job already missed.
+    Abandoned,
+    /// Destroyed by the permanent fault.
+    Lost,
+}
+
+#[derive(Debug)]
+struct CopyInst {
+    job: Job,
+    kind: CopyKind,
+    proc: ProcId,
+    release: Time,
+    remaining: Time,
+    /// Total execution time of this copy (its WCET stretched by the DVS
+    /// speed); used for transient-fault exposure.
+    exec_total: Time,
+    /// DVS speed in permil of full speed (1000 = full).
+    speed_permil: u32,
+    state: CopyState,
+    sibling: Option<usize>,
+    /// Flexibility degree of the job at release (OJQ ordering key;
+    /// mandatory copies store 0 and never use it).
+    fd_at_release: u32,
+    /// Set while this copy occupies a processor (segment start).
+    running_since: Option<Time>,
+    job_entry: usize,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    job: Job,
+    resolved: bool,
+    copies: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    next_index: u64,
+    history: MkHistory,
+    monitor: MkMonitor,
+    exhausted: bool,
+}
+
+/// Runs one simulation of `policy` on `ts`.
+///
+/// The run is fully deterministic given `config` (transient faults use a
+/// seeded RNG).
+///
+/// # Examples
+///
+/// ```
+/// use mkss_core::prelude::*;
+/// use mkss_sim::engine::{simulate, SimConfig};
+/// use mkss_sim::policy::{Policy, ReleaseCtx, ReleaseDecision};
+/// use mkss_sim::proc::ProcId;
+///
+/// /// Every job mandatory, mains on the primary, backups concurrent.
+/// struct Naive;
+/// impl Policy for Naive {
+///     fn name(&self) -> &str { "naive" }
+///     fn on_release(&mut self, _ctx: &ReleaseCtx<'_>) -> ReleaseDecision {
+///         ReleaseDecision::Mandatory {
+///             main_proc: ProcId::PRIMARY,
+///             backup_delay: Time::ZERO,
+///         }
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2)?])?;
+/// let report = simulate(&ts, &mut Naive, &SimConfig::active_only(Time::from_ms(20)));
+/// assert!(report.mk_assured());
+/// // Two jobs, each 2 ms on both processors… minus the cancellation:
+/// // main and backup start together, so both run to completion.
+/// assert!((report.active_energy().units() - 8.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate<P: Policy + ?Sized>(ts: &TaskSet, policy: &mut P, config: &SimConfig) -> SimReport {
+    Engine::new(ts, config).run(policy)
+}
+
+struct Engine<'a> {
+    ts: &'a TaskSet,
+    config: &'a SimConfig,
+    clock: Time,
+    copies: Vec<CopyInst>,
+    jobs: Vec<JobEntry>,
+    tasks: Vec<TaskState>,
+    /// Indices of copies that may still need CPU time (lazily pruned of
+    /// terminal-state copies to keep per-event scans O(active)).
+    active_copies: Vec<usize>,
+    /// Indices of jobs not yet resolved (lazily pruned).
+    open_jobs: Vec<usize>,
+    running: [Option<usize>; 2],
+    alive: [bool; 2],
+    death_time: [Option<Time>; 2],
+    fault_applied: bool,
+    sampler: TransientSampler,
+    trace: Trace,
+    /// Merged busy intervals per processor, in time order.
+    busy: [Vec<(Time, Time)>; 2],
+    /// Active energy accumulated per processor (DVS-aware).
+    active_energy: [crate::power::Energy; 2],
+    stats: JobStats,
+    violations: Vec<MkViolation>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(ts: &'a TaskSet, config: &'a SimConfig) -> Self {
+        let tasks = ts
+            .iter()
+            .map(|(_, t)| TaskState {
+                next_index: 1,
+                history: MkHistory::new(t.mk()),
+                monitor: MkMonitor::new(t.mk()),
+                exhausted: false,
+            })
+            .collect();
+        Engine {
+            ts,
+            config,
+            clock: Time::ZERO,
+            copies: Vec::new(),
+            jobs: Vec::new(),
+            active_copies: Vec::new(),
+            open_jobs: Vec::new(),
+            tasks,
+            running: [None, None],
+            alive: [true, true],
+            death_time: [None, None],
+            fault_applied: false,
+            sampler: TransientSampler::new(&config.faults),
+            trace: Trace::new(),
+            busy: [Vec::new(), Vec::new()],
+            active_energy: [crate::power::Energy::ZERO; 2],
+            stats: JobStats::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn run<P: Policy + ?Sized>(mut self, policy: &mut P) -> SimReport {
+        policy.init(self.ts);
+        loop {
+            self.prune();
+            self.apply_fault_if_due();
+            self.resolve_due_deadlines();
+            self.process_releases(policy);
+            self.dispatch();
+            let Some(next) = self.next_event_time() else {
+                break;
+            };
+            debug_assert!(next > self.clock, "no progress at {}", self.clock);
+            self.advance_to(next);
+            if self.clock >= self.config.horizon {
+                break;
+            }
+        }
+        // Everything released has deadline ≤ horizon; resolve stragglers.
+        self.clock = self.config.horizon;
+        self.resolve_due_deadlines();
+        self.finish(policy.name())
+    }
+
+    /// Drops terminal copies / resolved jobs from the active lists so the
+    /// per-event scans stay O(active) instead of O(everything ever
+    /// released).
+    fn prune(&mut self) {
+        let copies = &self.copies;
+        self.active_copies
+            .retain(|&c| copies[c].state == CopyState::Pending);
+        let jobs = &self.jobs;
+        self.open_jobs.retain(|&j| !jobs[j].resolved);
+    }
+
+    // ----- fault handling ---------------------------------------------
+
+    fn apply_fault_if_due(&mut self) {
+        if self.fault_applied {
+            return;
+        }
+        let Some(pf) = self.config.faults.permanent else {
+            self.fault_applied = true;
+            return;
+        };
+        if pf.at > self.clock {
+            return;
+        }
+        self.fault_applied = true;
+        let p = pf.proc;
+        self.alive[p.index()] = false;
+        self.death_time[p.index()] = Some(self.clock);
+        if let Some(c) = self.running[p.index()].take() {
+            self.close_segment(c, SegmentEnd::Lost);
+        }
+        let active = self.active_copies.clone();
+        for idx in active {
+            if self.copies[idx].proc == p && self.copies[idx].state == CopyState::Pending {
+                self.copies[idx].state = CopyState::Lost;
+                self.stats.copies_lost += 1;
+            }
+        }
+    }
+
+    // ----- deadline resolution ----------------------------------------
+
+    fn resolve_due_deadlines(&mut self) {
+        let due = self.open_jobs.clone();
+        for j in due {
+            if !self.jobs[j].resolved && self.jobs[j].job.deadline <= self.clock {
+                self.resolve(j, JobOutcome::Missed, self.jobs[j].job.deadline);
+            }
+        }
+    }
+
+    fn resolve(&mut self, job_idx: usize, outcome: JobOutcome, at: Time) {
+        debug_assert!(!self.jobs[job_idx].resolved);
+        self.jobs[job_idx].resolved = true;
+        let job = self.jobs[job_idx].job;
+        let tstate = &mut self.tasks[job.id.task.0];
+        tstate.history.record(outcome);
+        let was_violated = tstate.monitor.violated();
+        tstate.monitor.record(outcome.is_met());
+        if tstate.monitor.violated() && !was_violated {
+            self.violations.push(MkViolation {
+                task: job.id.task,
+                job_index: job.id.index,
+            });
+        }
+        match outcome {
+            JobOutcome::Met => self.stats.met += 1,
+            JobOutcome::Missed => self.stats.missed += 1,
+        }
+        self.trace.resolutions.push(JobResolution {
+            job: job.id,
+            outcome,
+            at,
+        });
+        if outcome == JobOutcome::Missed {
+            // A missed job's remaining copies are useless; stop them.
+            let copies = self.jobs[job_idx].copies.clone();
+            for c in copies {
+                if self.copies[c].state == CopyState::Pending {
+                    self.stop_copy(c, CopyState::Abandoned, SegmentEnd::Canceled);
+                }
+            }
+        }
+    }
+
+    /// Takes a pending copy off its processor (closing any open segment)
+    /// and puts it into a terminal state.
+    fn stop_copy(&mut self, c: usize, state: CopyState, ended: SegmentEnd) {
+        debug_assert_eq!(self.copies[c].state, CopyState::Pending);
+        let proc = self.copies[c].proc;
+        if self.running[proc.index()] == Some(c) {
+            self.running[proc.index()] = None;
+            self.close_segment(c, ended);
+        }
+        self.copies[c].state = state;
+    }
+
+    // ----- releases ----------------------------------------------------
+
+    fn process_releases<P: Policy + ?Sized>(&mut self, policy: &mut P) {
+        for (id, task) in self.ts.iter() {
+            loop {
+                let tstate = &self.tasks[id.0];
+                if tstate.exhausted {
+                    break;
+                }
+                let index = tstate.next_index;
+                let release = task.release_of(index);
+                if task.deadline_of(index) > self.config.horizon {
+                    self.tasks[id.0].exhausted = true;
+                    break;
+                }
+                if release > self.clock {
+                    break;
+                }
+                self.tasks[id.0].next_index += 1;
+                self.release_job(policy, id, index, release);
+            }
+        }
+    }
+
+    fn release_job<P: Policy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        id: TaskId,
+        index: u64,
+        release: Time,
+    ) {
+        debug_assert_eq!(release, self.clock, "release processed late");
+        let fd = self.tasks[id.0].history.flexibility_degree();
+        let decision = {
+            let ctx = ReleaseCtx {
+                task: id,
+                job_index: index,
+                now: self.clock,
+                history: &self.tasks[id.0].history,
+                alive: self.alive,
+            };
+            policy.on_release(&ctx)
+        };
+        self.stats.released += 1;
+
+        let job_entry = self.jobs.len();
+        // Normalize the two mandatory forms.
+        let decision = match decision {
+            ReleaseDecision::Mandatory {
+                main_proc,
+                backup_delay,
+            } => ReleaseDecision::MandatoryScaled {
+                main_proc,
+                backup_delay,
+                main_speed_permil: 1000,
+            },
+            other => other,
+        };
+        match decision {
+            ReleaseDecision::MandatoryScaled {
+                main_proc,
+                backup_delay,
+                main_speed_permil,
+            } => {
+                assert!(
+                    (1..=1000).contains(&main_speed_permil),
+                    "main speed must be in 1..=1000 permil"
+                );
+                self.stats.mandatory += 1;
+                let job = Job::nth(id, self.ts.task(id), index, JobClass::Mandatory);
+                let mut copies = Vec::with_capacity(2);
+                // Main execution time stretched by the DVS slowdown.
+                let main_exec = Time::from_ticks(
+                    (job.wcet.ticks() * 1000).div_ceil(u64::from(main_speed_permil)),
+                );
+                if self.alive[main_proc.index()] {
+                    let main_idx = self.copies.len();
+                    self.copies.push(CopyInst {
+                        job,
+                        kind: CopyKind::Main,
+                        proc: main_proc,
+                        release,
+                        remaining: main_exec,
+                        exec_total: main_exec,
+                        speed_permil: main_speed_permil,
+                        state: CopyState::Pending,
+                        sibling: None,
+                        fd_at_release: 0,
+                        running_since: None,
+                        job_entry,
+                    });
+                    copies.push(main_idx);
+                    let backup_proc = main_proc.other();
+                    if self.alive[backup_proc.index()] {
+                        let backup_idx = self.copies.len();
+                        self.copies.push(CopyInst {
+                            job,
+                            kind: CopyKind::Backup,
+                            proc: backup_proc,
+                            release: release + backup_delay,
+                            remaining: job.wcet,
+                            exec_total: job.wcet,
+                            speed_permil: 1000,
+                            state: CopyState::Pending,
+                            sibling: Some(main_idx),
+                            fd_at_release: 0,
+                            running_since: None,
+                            job_entry,
+                        });
+                        self.copies[main_idx].sibling = Some(backup_idx);
+                        copies.push(backup_idx);
+                    }
+                } else {
+                    // The main's processor is dead: host the job as its
+                    // *backup* copy on the survivor, keeping the backup
+                    // release delay. Releasing at `r` instead would put a
+                    // one-off shorter-than-period gap between this task's
+                    // copies on the survivor (pre-fault copies there were
+                    // delayed), and that release jitter can push a
+                    // lower-priority backup past its deadline even though
+                    // the synchronous analysis passes.
+                    let idx = self.copies.len();
+                    self.copies.push(CopyInst {
+                        job,
+                        kind: CopyKind::Backup,
+                        proc: main_proc.other(),
+                        release: release + backup_delay,
+                        remaining: job.wcet,
+                        exec_total: job.wcet,
+                        speed_permil: 1000,
+                        state: CopyState::Pending,
+                        sibling: None,
+                        fd_at_release: 0,
+                        running_since: None,
+                        job_entry,
+                    });
+                    copies.push(idx);
+                }
+                for &c in &copies {
+                    self.active_copies.push(c);
+                }
+                self.jobs.push(JobEntry {
+                    job,
+                    resolved: false,
+                    copies,
+                });
+                self.open_jobs.push(job_entry);
+            }
+            ReleaseDecision::Mandatory { .. } => {
+                unreachable!("normalized to MandatoryScaled above")
+            }
+            ReleaseDecision::Optional { proc } => {
+                self.stats.optional_selected += 1;
+                let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
+                let proc = self.live_proc(proc);
+                let idx = self.copies.len();
+                self.copies.push(CopyInst {
+                    job,
+                    kind: CopyKind::Optional,
+                    proc,
+                    release,
+                    remaining: job.wcet,
+                    exec_total: job.wcet,
+                    speed_permil: 1000,
+                    state: CopyState::Pending,
+                    sibling: None,
+                    fd_at_release: fd,
+                    running_since: None,
+                    job_entry,
+                });
+                self.active_copies.push(idx);
+                self.jobs.push(JobEntry {
+                    job,
+                    resolved: false,
+                    copies: vec![idx],
+                });
+                self.open_jobs.push(job_entry);
+            }
+            ReleaseDecision::Skip => {
+                self.stats.optional_skipped += 1;
+                let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
+                self.jobs.push(JobEntry {
+                    job,
+                    resolved: false,
+                    copies: vec![],
+                });
+                self.open_jobs.push(job_entry);
+            }
+        }
+    }
+
+    fn live_proc(&self, preferred: ProcId) -> ProcId {
+        if self.alive[preferred.index()] {
+            preferred
+        } else {
+            preferred.other()
+        }
+    }
+
+    // ----- dispatch ----------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for &proc in &ProcId::ALL {
+            if !self.alive[proc.index()] {
+                continue;
+            }
+            self.abandon_infeasible_optionals(proc);
+            let pick = self.pick_copy(proc);
+            let current = self.running[proc.index()];
+            if current == pick {
+                continue;
+            }
+            if let Some(old) = current {
+                // Preempted (still pending; completed/canceled copies
+                // already closed their segment and cleared `running`).
+                if self.copies[old].state == CopyState::Pending {
+                    self.close_segment(old, SegmentEnd::Preempted);
+                }
+            }
+            if let Some(new) = pick {
+                self.copies[new].running_since = Some(self.clock);
+            }
+            self.running[proc.index()] = pick;
+        }
+    }
+
+    /// Abandons every ready optional copy on `proc` that can no longer
+    /// finish by its deadline even if it ran uninterrupted from now.
+    fn abandon_infeasible_optionals(&mut self, proc: ProcId) {
+        let active = self.active_copies.clone();
+        for c in active {
+            let copy = &self.copies[c];
+            if copy.proc == proc
+                && copy.kind == CopyKind::Optional
+                && copy.state == CopyState::Pending
+                && copy.release <= self.clock
+                && !copy.job.feasible_from(self.clock, copy.remaining)
+            {
+                self.stats.optional_abandoned += 1;
+                self.stop_copy(c, CopyState::Abandoned, SegmentEnd::Preempted);
+            }
+        }
+    }
+
+    /// MJQ strictly above OJQ; MJQ in fixed-priority order, OJQ ordered
+    /// by (flexibility degree at release, fixed priority).
+    fn pick_copy(&self, proc: ProcId) -> Option<usize> {
+        let ready = |c: &CopyInst| {
+            c.proc == proc && c.state == CopyState::Pending && c.release <= self.clock
+        };
+        let mandatory = self
+            .active_copies
+            .iter()
+            .map(|&i| (i, &self.copies[i]))
+            .filter(|(_, c)| ready(c) && c.kind != CopyKind::Optional)
+            .min_by_key(|(_, c)| (c.job.id.task, c.job.id.index))
+            .map(|(i, _)| i);
+        if mandatory.is_some() {
+            return mandatory;
+        }
+        self.active_copies
+            .iter()
+            .map(|&i| (i, &self.copies[i]))
+            .filter(|(_, c)| ready(c) && c.kind == CopyKind::Optional)
+            .min_by_key(|(_, c)| (c.fd_at_release, c.job.id.task, c.job.id.index))
+            .map(|(i, _)| i)
+    }
+
+    // ----- time advance --------------------------------------------------
+
+    fn next_event_time(&self) -> Option<Time> {
+        let mut next = self.config.horizon;
+        let mut any = self.clock < self.config.horizon;
+        if !self.fault_applied {
+            if let Some(pf) = self.config.faults.permanent {
+                next = next.min(pf.at);
+            }
+        }
+        for (id, task) in self.ts.iter() {
+            let tstate = &self.tasks[id.0];
+            if !tstate.exhausted {
+                next = next.min(task.release_of(tstate.next_index));
+                any = true;
+            }
+        }
+        for &i in &self.active_copies {
+            let copy = &self.copies[i];
+            if copy.state == CopyState::Pending && copy.release > self.clock {
+                next = next.min(copy.release);
+                any = true;
+            }
+        }
+        for &i in &self.open_jobs {
+            let job = &self.jobs[i];
+            if !job.resolved && job.job.deadline > self.clock {
+                next = next.min(job.job.deadline);
+                any = true;
+            }
+        }
+        for &proc in &ProcId::ALL {
+            if let Some(c) = self.running[proc.index()] {
+                next = next.min(self.clock + self.copies[c].remaining);
+                any = true;
+            }
+        }
+        if !any {
+            return None;
+        }
+        Some(next.max(self.clock))
+    }
+
+    fn advance_to(&mut self, next: Time) {
+        let dt = next - self.clock;
+        let mut completions: Vec<usize> = Vec::new();
+        for &proc in &ProcId::ALL {
+            if let Some(c) = self.running[proc.index()] {
+                self.extend_busy(proc, self.clock, next);
+                let copy = &mut self.copies[c];
+                self.active_energy[proc.index()] += self
+                    .config
+                    .power
+                    .active_energy_at(dt, copy.speed_permil);
+                copy.remaining -= dt;
+                if copy.remaining.is_zero() {
+                    completions.push(c);
+                }
+            }
+        }
+        self.clock = next;
+        // Mark all simultaneous completions done first (so a success does
+        // not "cancel" a sibling that also just finished)…
+        for &c in &completions {
+            let faulted = self.sampler.sample(self.copies[c].exec_total);
+            if faulted {
+                self.stats.transient_faults += 1;
+            }
+            let proc = self.copies[c].proc;
+            self.running[proc.index()] = None;
+            self.close_segment(c, SegmentEnd::Completed);
+            self.copies[c].state = CopyState::Done { faulted };
+            if self.copies[c].kind == CopyKind::Backup {
+                self.stats.backups_completed += 1;
+            }
+        }
+        // …then act on the outcomes.
+        for &c in &completions {
+            let CopyState::Done { faulted } = self.copies[c].state else {
+                unreachable!("completion not marked done");
+            };
+            if faulted {
+                continue;
+            }
+            let job_idx = self.copies[c].job_entry;
+            if !self.jobs[job_idx].resolved {
+                self.resolve(job_idx, JobOutcome::Met, self.clock);
+            }
+            if let Some(sib) = self.copies[c].sibling {
+                if self.copies[sib].state == CopyState::Pending {
+                    self.stats.backups_canceled += 1;
+                    self.stop_copy(sib, CopyState::Canceled, SegmentEnd::Canceled);
+                }
+            }
+        }
+    }
+
+    fn extend_busy(&mut self, proc: ProcId, from: Time, to: Time) {
+        let intervals = &mut self.busy[proc.index()];
+        match intervals.last_mut() {
+            Some(last) if last.1 == from => last.1 = to,
+            _ => intervals.push((from, to)),
+        }
+    }
+
+    fn close_segment(&mut self, c: usize, ended: SegmentEnd) {
+        let copy = &mut self.copies[c];
+        if let Some(start) = copy.running_since.take() {
+            if start < self.clock {
+                self.trace.segments.push(Segment {
+                    proc: copy.proc,
+                    job: copy.job.id,
+                    kind: copy.kind,
+                    start,
+                    end: self.clock,
+                    ended,
+                });
+            }
+        }
+    }
+
+    // ----- wrap-up -------------------------------------------------------
+
+    fn finish(mut self, policy_name: &str) -> SimReport {
+        // Close any segment still open at the horizon.
+        for &proc in &ProcId::ALL {
+            if let Some(c) = self.running[proc.index()] {
+                self.close_segment(c, SegmentEnd::Horizon);
+            }
+        }
+        let mut energy = [EnergyBreakdown::default(), EnergyBreakdown::default()];
+        for &proc in &ProcId::ALL {
+            energy[proc.index()] = self.account_processor(proc, &self.config.power);
+        }
+        self.trace
+            .segments
+            .sort_by_key(|s| (s.start, s.proc, s.end));
+        SimReport {
+            policy: policy_name.to_owned(),
+            horizon: self.config.horizon,
+            energy,
+            stats: self.stats,
+            violations: self.violations,
+            trace: if self.config.record_trace {
+                Some(self.trace)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Active energy from the busy intervals; idle energy from their
+    /// complement within `[0, end-of-life)` using the DPD rule.
+    fn account_processor(&self, proc: ProcId, power: &PowerModel) -> EnergyBreakdown {
+        let end = self.death_time[proc.index()].unwrap_or(self.config.horizon);
+        let mut breakdown = EnergyBreakdown::default();
+        let mut cursor = Time::ZERO;
+        for &(from, to) in &self.busy[proc.index()] {
+            let from = from.min(end);
+            let to = to.min(end);
+            if from > cursor {
+                breakdown.idle += power.idle_interval_energy(from - cursor);
+                breakdown.idle_time += from - cursor;
+            }
+            breakdown.busy_time += to - from;
+            cursor = cursor.max(to);
+        }
+        if end > cursor {
+            breakdown.idle += power.idle_interval_energy(end - cursor);
+            breakdown.idle_time += end - cursor;
+        }
+        // Active energy was accumulated DVS-aware during the run.
+        breakdown.active = self.active_energy[proc.index()];
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkss_core::task::Task;
+    use crate::fault::PermanentFault;
+
+    /// R-pattern static policy: mandatory per deeply-red, mains on
+    /// primary, concurrent backups — the MKSS_ST reference, inlined here
+    /// to keep the engine tests self-contained.
+    struct StaticRef;
+    impl Policy for StaticRef {
+        fn name(&self) -> &str {
+            "static-ref"
+        }
+        fn on_release(&mut self, ctx: &ReleaseCtx<'_>) -> ReleaseDecision {
+            use mkss_core::mk::Pattern;
+            let mk = ctx.history.constraint();
+            if Pattern::DeeplyRed.is_mandatory(mk, ctx.job_index) {
+                ReleaseDecision::Mandatory {
+                    main_proc: ProcId::PRIMARY,
+                    backup_delay: Time::ZERO,
+                }
+            } else {
+                ReleaseDecision::Skip
+            }
+        }
+    }
+
+    fn fig1_set() -> TaskSet {
+        TaskSet::new(vec![
+            Task::from_ms(5, 4, 3, 2, 4).unwrap(),
+            Task::from_ms(10, 10, 3, 1, 2).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn static_reference_energy_fig1_set() {
+        // Mandatory jobs in [0,20): J11, J12 (τ1), J21 (τ2); mains and
+        // backups run concurrently and identically on both processors →
+        // no cancellation savings: 9 + 9 = 18 active units.
+        let report = simulate(
+            &fig1_set(),
+            &mut StaticRef,
+            &SimConfig::active_only(Time::from_ms(20)),
+        );
+        assert!((report.active_energy().units() - 18.0).abs() < 1e-9);
+        assert!(report.mk_assured());
+        assert_eq!(report.stats.mandatory, 3);
+        assert_eq!(report.stats.optional_skipped, 3); // J13, J14, J22
+        assert_eq!(report.stats.met, 3);
+        assert_eq!(report.stats.missed, 3);
+    }
+
+    #[test]
+    fn trace_is_recorded_and_consistent() {
+        let report = simulate(
+            &fig1_set(),
+            &mut StaticRef,
+            &SimConfig::active_only(Time::from_ms(20)),
+        );
+        let trace = report.trace.as_ref().unwrap();
+        // Mains on primary: J11 [0,3), J21 [3,6), J12 [5,8)… with
+        // preemption: J12 preempts J21 at 5.
+        let primary: Vec<_> = trace.segments_on(ProcId::PRIMARY).collect();
+        assert_eq!(primary[0].start, Time::ZERO);
+        assert_eq!(primary[0].end, Time::from_ms(3));
+        // Busy time on each processor = 9ms.
+        assert_eq!(
+            trace.busy_time_within(ProcId::PRIMARY, Time::from_ms(20)),
+            Time::from_ms(9)
+        );
+        assert_eq!(
+            trace.busy_time_within(ProcId::SPARE, Time::from_ms(20)),
+            Time::from_ms(9)
+        );
+    }
+
+    #[test]
+    fn preemption_occurs_within_processor() {
+        let report = simulate(
+            &fig1_set(),
+            &mut StaticRef,
+            &SimConfig::active_only(Time::from_ms(20)),
+        );
+        let trace = report.trace.unwrap();
+        // τ2's main J21 is preempted at t=5 by τ1's J12 and resumes at 8.
+        let j21_segments: Vec<_> = trace
+            .segments_on(ProcId::PRIMARY)
+            .filter(|s| s.job.task == TaskId(1))
+            .collect();
+        assert_eq!(j21_segments.len(), 2);
+        assert_eq!(j21_segments[0].ended, SegmentEnd::Preempted);
+        assert_eq!(j21_segments[0].start, Time::from_ms(3));
+        assert_eq!(j21_segments[0].end, Time::from_ms(5));
+        assert_eq!(j21_segments[1].start, Time::from_ms(8));
+        assert_eq!(j21_segments[1].end, Time::from_ms(9));
+    }
+
+    #[test]
+    fn permanent_fault_on_spare_keeps_mains_running() {
+        let mut config = SimConfig::active_only(Time::from_ms(20));
+        config.faults = FaultConfig {
+            permanent: Some(PermanentFault {
+                proc: ProcId::SPARE,
+                at: Time::from_ms(1),
+            }),
+            ..FaultConfig::none()
+        };
+        let report = simulate(&fig1_set(), &mut StaticRef, &config);
+        assert!(report.mk_assured());
+        // Spare ran only [0,1): J'11 partial.
+        let trace = report.trace.as_ref().unwrap();
+        assert_eq!(
+            trace.busy_time_within(ProcId::SPARE, Time::from_ms(20)),
+            Time::from_ms(1)
+        );
+        // Mains unaffected; future jobs single-copy on primary.
+        assert_eq!(
+            trace.busy_time_within(ProcId::PRIMARY, Time::from_ms(20)),
+            Time::from_ms(9)
+        );
+        assert!(report.stats.copies_lost >= 1);
+        assert_eq!(report.stats.met, 3);
+    }
+
+    #[test]
+    fn permanent_fault_on_primary_lets_backups_take_over() {
+        let mut config = SimConfig::active_only(Time::from_ms(20));
+        config.faults = FaultConfig {
+            permanent: Some(PermanentFault {
+                proc: ProcId::PRIMARY,
+                at: Time::from_ms(1),
+            }),
+            ..FaultConfig::none()
+        };
+        let report = simulate(&fig1_set(), &mut StaticRef, &config);
+        // All mandatory jobs still met via backups on the spare.
+        assert!(report.mk_assured());
+        assert_eq!(report.stats.met, 3);
+        assert_eq!(report.stats.missed, 3); // the skipped optional jobs
+    }
+
+    #[test]
+    fn transient_fault_forces_backup_completion() {
+        // Rate so high every execution faults: both copies fault → missed,
+        // but (1,2) tolerates alternating misses… with every job faulted,
+        // every job misses and (m,k) is violated — the monitor must say so.
+        let ts = TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2).unwrap()]).unwrap();
+        let mut config = SimConfig::active_only(Time::from_ms(40));
+        config.faults = FaultConfig::transient(1000.0, 7);
+        let report = simulate(&ts, &mut StaticRef, &config);
+        assert!(report.stats.transient_faults > 0);
+        assert!(!report.mk_assured());
+        // Backups were not canceled (mains all faulted).
+        assert_eq!(report.stats.backups_canceled, 0);
+        assert_eq!(report.stats.backups_completed, 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ts = fig1_set();
+        let mut config = SimConfig::active_only(Time::from_ms(20));
+        config.faults = FaultConfig::transient(0.05, 99);
+        let a = simulate(&ts, &mut StaticRef, &config);
+        let b = simulate(&ts, &mut StaticRef, &config);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stats, b.stats);
+        assert!((a.total_energy().units() - b.total_energy().units()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_energy_uses_dpd_rule() {
+        // One task, one 2ms job per 10ms; default power model.
+        let ts = TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2).unwrap()]).unwrap();
+        let report = simulate(&ts, &mut StaticRef, &SimConfig::new(Time::from_ms(20)));
+        // Jobs: J1 mandatory (0..2 busy on both procs), J2 optional
+        // skipped. Primary: busy [0,2), idle [2,20) = 18ms > T_be → 1ms
+        // idle at 0.1 + 17ms sleep at 0. Active 2.0 + idle 0.1.
+        let primary = report.energy[ProcId::PRIMARY.index()];
+        assert!((primary.active.units() - 2.0).abs() < 1e-9);
+        assert!((primary.idle.units() - 0.1).abs() < 1e-9);
+        assert_eq!(primary.busy_time, Time::from_ms(2));
+        assert_eq!(primary.idle_time, Time::from_ms(18));
+    }
+
+    #[test]
+    fn energy_timeline_partitions() {
+        let report = simulate(&fig1_set(), &mut StaticRef, &SimConfig::new(Time::from_ms(20)));
+        for e in &report.energy {
+            assert_eq!(e.busy_time + e.idle_time, Time::from_ms(20));
+        }
+    }
+
+    #[test]
+    fn dead_processor_consumes_nothing_after_fault() {
+        let mut config = SimConfig::new(Time::from_ms(20));
+        config.faults = FaultConfig {
+            permanent: Some(PermanentFault {
+                proc: ProcId::SPARE,
+                at: Time::from_ms(4),
+            }),
+            ..FaultConfig::none()
+        };
+        let report = simulate(&fig1_set(), &mut StaticRef, &config);
+        let spare = report.energy[ProcId::SPARE.index()];
+        assert_eq!(spare.busy_time + spare.idle_time, Time::from_ms(4));
+    }
+}

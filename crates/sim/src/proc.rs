@@ -1,0 +1,69 @@
+//! Processor identities of the dual-processor standby-sparing system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the two processors.
+///
+/// The system model is exactly dual: a *primary* and a *spare* processor
+/// execute in parallel; each mandatory job has a main copy on one and a
+/// backup copy on the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// The primary processor.
+    pub const PRIMARY: ProcId = ProcId(0);
+    /// The spare processor.
+    pub const SPARE: ProcId = ProcId(1);
+    /// Both processors, primary first.
+    pub const ALL: [ProcId; 2] = [ProcId::PRIMARY, ProcId::SPARE];
+
+    /// The other processor.
+    ///
+    /// ```
+    /// use mkss_sim::proc::ProcId;
+    /// assert_eq!(ProcId::PRIMARY.other(), ProcId::SPARE);
+    /// assert_eq!(ProcId::SPARE.other(), ProcId::PRIMARY);
+    /// ```
+    pub const fn other(self) -> ProcId {
+        ProcId(1 - self.0)
+    }
+
+    /// Index (0 = primary, 1 = spare) for table lookups.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProcId::PRIMARY => write!(f, "primary"),
+            ProcId::SPARE => write!(f, "spare"),
+            ProcId(n) => write!(f, "proc{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_flips() {
+        assert_eq!(ProcId::PRIMARY.other(), ProcId::SPARE);
+        assert_eq!(ProcId::SPARE.other(), ProcId::PRIMARY);
+        assert_eq!(ProcId::PRIMARY.other().other(), ProcId::PRIMARY);
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(ProcId::PRIMARY.to_string(), "primary");
+        assert_eq!(ProcId::SPARE.to_string(), "spare");
+        assert_eq!(ProcId::PRIMARY.index(), 0);
+        assert_eq!(ProcId::SPARE.index(), 1);
+        assert_eq!(ProcId::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Schedule traces: executed segments, per-job outcomes, and an ASCII
+//! Gantt renderer for debugging and for reproducing the paper's figures.
+
+use mkss_core::history::JobOutcome;
+use mkss_core::job::{CopyKind, JobId};
+use mkss_core::time::{Time, TICKS_PER_MS};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+use crate::power::{Energy, PowerModel};
+use crate::proc::ProcId;
+
+/// Why an execution segment ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentEnd {
+    /// The copy finished its execution demand.
+    Completed,
+    /// A higher-priority copy preempted it.
+    Preempted,
+    /// The sibling copy succeeded and this copy was canceled.
+    Canceled,
+    /// A permanent fault destroyed the processor mid-execution.
+    Lost,
+    /// The simulation horizon cut the segment short.
+    Horizon,
+}
+
+/// One contiguous execution of a job copy on a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Segment {
+    /// Executing processor.
+    pub proc: ProcId,
+    /// The job being executed.
+    pub job: JobId,
+    /// Which copy (main / backup / optional).
+    pub kind: CopyKind,
+    /// Segment start time.
+    pub start: Time,
+    /// Segment end time (exclusive).
+    pub end: Time,
+    /// Why the segment ended.
+    pub ended: SegmentEnd,
+}
+
+impl Segment {
+    /// Segment length.
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (zero-length).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Resolution of one released job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobResolution {
+    /// The job.
+    pub job: JobId,
+    /// Its outcome (met / missed).
+    pub outcome: JobOutcome,
+    /// When the outcome was decided (success time, or the deadline for a
+    /// miss).
+    pub at: Time,
+}
+
+/// Full schedule trace of one simulation run.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Executed segments in chronological order of their start.
+    pub segments: Vec<Segment>,
+    /// Job resolutions in chronological order.
+    pub resolutions: Vec<JobResolution>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Total busy time of `proc` within `[0, until)`, clamping segments
+    /// crossing the boundary.
+    pub fn busy_time_within(&self, proc: ProcId, until: Time) -> Time {
+        self.segments
+            .iter()
+            .filter(|s| s.proc == proc && s.start < until)
+            .map(|s| s.end.min(until) - s.start)
+            .sum()
+    }
+
+    /// Active energy of both processors within `[0, until)` under `power`
+    /// — the quantity the motivating examples count ("total active energy
+    /// consumption within the hyper period").
+    pub fn active_energy_within(&self, power: &PowerModel, until: Time) -> Energy {
+        ProcId::ALL
+            .iter()
+            .map(|&p| power.active_energy(self.busy_time_within(p, until)))
+            .sum()
+    }
+
+    /// Segments of one processor, in order.
+    pub fn segments_on(&self, proc: ProcId) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(move |s| s.proc == proc)
+    }
+
+    /// Renders an ASCII Gantt chart of `[0, until)` with one row per
+    /// processor, one column per `scale` of time. Jobs are labelled by
+    /// task number; backup copies in lowercase `b`, optional copies `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn render_gantt(&self, until: Time, scale: Time) -> String {
+        assert!(!scale.is_zero(), "gantt scale must be positive");
+        let cols = until.div_ceil(scale) as usize;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "time: one column = {scale}, span [0, {until})"
+        );
+        for &proc in &ProcId::ALL {
+            let mut row = vec!['.'; cols];
+            for seg in self.segments_on(proc) {
+                if seg.start >= until {
+                    continue;
+                }
+                let from = (seg.start.ticks() / scale.ticks()) as usize;
+                let to = (seg.end.min(until).ticks().div_ceil(scale.ticks())) as usize;
+                let ch = match seg.kind {
+                    CopyKind::Main => {
+                        char::from_digit((seg.job.task.0 as u32 + 1) % 10, 10).unwrap_or('?')
+                    }
+                    CopyKind::Backup => 'b',
+                    CopyKind::Optional => 'o',
+                };
+                for cell in row.iter_mut().take(to.min(cols)).skip(from) {
+                    *cell = ch;
+                }
+            }
+            let name = proc.to_string();
+            let _ = writeln!(out, "{name:>8}: {}", row.into_iter().collect::<String>());
+        }
+        out
+    }
+
+    /// Convenience: Gantt with 1 ms columns.
+    pub fn render_gantt_ms(&self, until: Time) -> String {
+        self.render_gantt(until, Time::from_ticks(TICKS_PER_MS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkss_core::task::TaskId;
+
+    fn seg(proc: ProcId, task: usize, kind: CopyKind, start: u64, end: u64) -> Segment {
+        Segment {
+            proc,
+            job: JobId::new(TaskId(task), 1),
+            kind,
+            start: Time::from_ms(start),
+            end: Time::from_ms(end),
+            ended: SegmentEnd::Completed,
+        }
+    }
+
+    #[test]
+    fn segment_len() {
+        let s = seg(ProcId::PRIMARY, 0, CopyKind::Main, 2, 5);
+        assert_eq!(s.len(), Time::from_ms(3));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn busy_time_clamps_at_horizon() {
+        let mut t = Trace::new();
+        t.segments.push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
+        t.segments.push(seg(ProcId::PRIMARY, 1, CopyKind::Main, 18, 22));
+        t.segments.push(seg(ProcId::SPARE, 0, CopyKind::Backup, 1, 2));
+        assert_eq!(
+            t.busy_time_within(ProcId::PRIMARY, Time::from_ms(20)),
+            Time::from_ms(5)
+        );
+        assert_eq!(
+            t.busy_time_within(ProcId::SPARE, Time::from_ms(20)),
+            Time::from_ms(1)
+        );
+    }
+
+    #[test]
+    fn active_energy_sums_processors() {
+        let mut t = Trace::new();
+        t.segments.push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
+        t.segments.push(seg(ProcId::SPARE, 0, CopyKind::Backup, 5, 9));
+        let e = t.active_energy_within(&PowerModel::active_only(), Time::from_ms(20));
+        assert!((e.units() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut t = Trace::new();
+        t.segments.push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
+        t.segments.push(seg(ProcId::SPARE, 1, CopyKind::Backup, 2, 4));
+        t.segments.push(seg(ProcId::PRIMARY, 1, CopyKind::Optional, 4, 5));
+        let g = t.render_gantt_ms(Time::from_ms(6));
+        assert!(g.contains(" primary: 111.o."), "got:\n{g}");
+        assert!(g.contains("   spare: ..bb.."), "got:\n{g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn gantt_zero_scale_panics() {
+        Trace::new().render_gantt(Time::from_ms(5), Time::ZERO);
+    }
+}

@@ -1,0 +1,248 @@
+//! Value-Change-Dump (VCD) export of schedule traces.
+//!
+//! Schedules are waveforms: each processor is a pair of signals (which
+//! task is executing, and whether the copy is a main / backup / optional
+//! one), and each task gets a one-tick pulse wire marking met deadlines.
+//! The output loads in any VCD viewer (GTKWave et al.), which makes
+//! multi-hyperperiod schedules far easier to inspect than ASCII Gantt
+//! charts.
+//!
+//! The timescale is 1 µs — exactly one simulator tick.
+
+use std::fmt::Write as _;
+
+use mkss_core::history::JobOutcome;
+use mkss_core::job::CopyKind;
+
+use crate::proc::ProcId;
+use crate::trace::Trace;
+
+/// Copy-kind encoding used in the 2-bit `*_kind` signals.
+fn kind_code(kind: CopyKind) -> u8 {
+    match kind {
+        CopyKind::Main => 1,
+        CopyKind::Backup => 2,
+        CopyKind::Optional => 3,
+    }
+}
+
+/// Renders `trace` as a VCD document.
+///
+/// Signals, under scope `mkss`:
+///
+/// * `primary_task`, `spare_task` — 8-bit: executing task number
+///   (1-based), 0 when idle;
+/// * `primary_kind`, `spare_kind` — 2-bit: 0 idle, 1 main, 2 backup,
+///   3 optional;
+/// * `t<i>_met` — 1-bit pulse at each met deadline of task `i`;
+/// * `t<i>_miss` — 1-bit pulse at each miss.
+///
+/// `task_count` sizes the pulse wires; tasks appearing in the trace
+/// beyond it are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use mkss_core::prelude::*;
+/// use mkss_sim::prelude::*;
+/// use mkss_sim::vcd::render_vcd;
+///
+/// let mut trace = Trace::new();
+/// trace.segments.push(Segment {
+///     proc: ProcId::PRIMARY,
+///     job: JobId::new(TaskId(0), 1),
+///     kind: CopyKind::Main,
+///     start: Time::ZERO,
+///     end: Time::from_ms(2),
+///     ended: SegmentEnd::Completed,
+/// });
+/// let vcd = render_vcd(&trace, 1);
+/// assert!(vcd.starts_with("$timescale 1us $end"));
+/// assert!(vcd.contains("primary_task"));
+/// ```
+pub fn render_vcd(trace: &Trace, task_count: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$timescale 1us $end");
+    let _ = writeln!(out, "$scope module mkss $end");
+    // Identifier codes: printable ASCII, one per signal.
+    // '!' '"' → proc task values; '#' '$' → proc kinds; then task pulses.
+    let _ = writeln!(out, "$var wire 8 ! primary_task $end");
+    let _ = writeln!(out, "$var wire 2 # primary_kind $end");
+    let _ = writeln!(out, "$var wire 8 \" spare_task $end");
+    let _ = writeln!(out, "$var wire 2 $ spare_kind $end");
+    for t in 0..task_count {
+        let _ = writeln!(out, "$var wire 1 {} t{}_met $end", met_code(t), t + 1);
+        let _ = writeln!(out, "$var wire 1 {} t{}_miss $end", miss_code(t), t + 1);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Build the change list: (time, code, value-bits, width).
+    let mut changes: Vec<(u64, String)> = Vec::new();
+    for &proc in &ProcId::ALL {
+        let (task_id, kind_id) = if proc == ProcId::PRIMARY {
+            ('!', '#')
+        } else {
+            ('"', '$')
+        };
+        changes.push((0, format!("b0 {task_id}")));
+        changes.push((0, format!("b0 {kind_id}")));
+        for seg in trace.segments_on(proc) {
+            changes.push((
+                seg.start.ticks(),
+                format!("b{:b} {task_id}", seg.job.task.0 + 1),
+            ));
+            changes.push((
+                seg.start.ticks(),
+                format!("b{:b} {kind_id}", kind_code(seg.kind)),
+            ));
+            changes.push((seg.end.ticks(), format!("b0 {task_id}")));
+            changes.push((seg.end.ticks(), format!("b0 {kind_id}")));
+        }
+    }
+    for t in 0..task_count {
+        changes.push((0, format!("0{}", met_code(t))));
+        changes.push((0, format!("0{}", miss_code(t))));
+    }
+    for r in &trace.resolutions {
+        if r.job.task.0 >= task_count {
+            continue;
+        }
+        let code = match r.outcome {
+            JobOutcome::Met => met_code(r.job.task.0),
+            JobOutcome::Missed => miss_code(r.job.task.0),
+        };
+        changes.push((r.at.ticks(), format!("1{code}")));
+        changes.push((r.at.ticks() + 1, format!("0{code}")));
+    }
+
+    changes.sort();
+    // Emit, dropping earlier changes shadowed by a later change of the
+    // same signal at the same instant (end-of-segment followed by
+    // start-of-segment at a preemption boundary).
+    let mut i = 0;
+    let mut last_time = u64::MAX;
+    while i < changes.len() {
+        let (time, _) = changes[i];
+        if time != last_time {
+            let _ = writeln!(out, "#{time}");
+            last_time = time;
+        }
+        // Emit only if no later same-signal change exists at this time
+        // (a preemption boundary produces end-then-start pairs).
+        let code = signal_code(&changes[i].1);
+        let has_later = changes[i + 1..]
+            .iter()
+            .take_while(|(t, _)| *t == time)
+            .any(|(_, v)| signal_code(v) == code);
+        if !has_later {
+            let _ = writeln!(out, "{}", changes[i].1);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn met_code(task: usize) -> char {
+    char::from_u32('A' as u32 + task as u32).unwrap_or('?')
+}
+
+fn miss_code(task: usize) -> char {
+    char::from_u32('a' as u32 + task as u32).unwrap_or('?')
+}
+
+/// The identifier-code portion of a VCD value-change line.
+fn signal_code(line: &str) -> &str {
+    match line.split_once(' ') {
+        Some((_, code)) => code,          // vector: "b101 !"
+        None => &line[1..],               // scalar: "1A"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Segment, SegmentEnd};
+    use mkss_core::job::JobId;
+    use mkss_core::task::TaskId;
+    use mkss_core::time::Time;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.segments.push(Segment {
+            proc: ProcId::PRIMARY,
+            job: JobId::new(TaskId(0), 1),
+            kind: CopyKind::Main,
+            start: Time::ZERO,
+            end: Time::from_ms(3),
+            ended: SegmentEnd::Completed,
+        });
+        t.segments.push(Segment {
+            proc: ProcId::PRIMARY,
+            job: JobId::new(TaskId(1), 1),
+            kind: CopyKind::Optional,
+            start: Time::from_ms(3),
+            end: Time::from_ms(5),
+            ended: SegmentEnd::Completed,
+        });
+        t.segments.push(Segment {
+            proc: ProcId::SPARE,
+            job: JobId::new(TaskId(0), 1),
+            kind: CopyKind::Backup,
+            start: Time::from_ms(1),
+            end: Time::from_ms(3),
+            ended: SegmentEnd::Canceled,
+        });
+        t.resolutions.push(crate::trace::JobResolution {
+            job: JobId::new(TaskId(0), 1),
+            outcome: JobOutcome::Met,
+            at: Time::from_ms(3),
+        });
+        t
+    }
+
+    #[test]
+    fn header_and_signals() {
+        let vcd = render_vcd(&sample_trace(), 2);
+        assert!(vcd.starts_with("$timescale 1us $end"));
+        assert!(vcd.contains("$var wire 8 ! primary_task $end"));
+        assert!(vcd.contains("$var wire 1 A t1_met $end"));
+        assert!(vcd.contains("$var wire 1 b t2_miss $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_are_time_ordered_and_deduplicated() {
+        let vcd = render_vcd(&sample_trace(), 2);
+        let mut last = -1i64;
+        let mut count_t3_task_changes = 0;
+        let mut at_t3 = false;
+        for line in vcd.lines() {
+            if let Some(ts) = line.strip_prefix('#') {
+                let t: i64 = ts.parse().unwrap();
+                assert!(t > last, "timestamps must strictly increase");
+                last = t;
+                at_t3 = t == 3000;
+            } else if at_t3 && line.ends_with(" !") {
+                count_t3_task_changes += 1;
+            }
+        }
+        // At the preemption boundary t=3ms, the primary's task signal
+        // changes exactly once (to task 2), not end-then-start.
+        assert_eq!(count_t3_task_changes, 1);
+        assert!(vcd.contains("b10 !"), "task 2 encoded in binary");
+    }
+
+    #[test]
+    fn met_pulse_emitted() {
+        let vcd = render_vcd(&sample_trace(), 2);
+        assert!(vcd.contains("1A"), "met pulse rises");
+        assert!(vcd.contains("#3001"), "met pulse falls a tick later");
+    }
+
+    #[test]
+    fn idle_trace_renders() {
+        let vcd = render_vcd(&Trace::new(), 0);
+        assert!(vcd.contains("#0"));
+    }
+}

@@ -1,0 +1,34 @@
+//! A miniature of the paper's Figure 6 evaluation, runnable in seconds:
+//! random task sets per (m,k)-utilization bucket, three schemes, three
+//! fault scenarios, energies normalized to `MKSS_ST`.
+//!
+//! For the full-size experiment use the harness binary:
+//! `cargo run --release -p mkss-bench --bin fig6`.
+//!
+//! ```text
+//! cargo run --release --example evaluation_sweep
+//! ```
+
+use mkss::prelude::*;
+use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_bench::table;
+
+fn main() {
+    for scenario in Scenario::ALL {
+        let mut config = ExperimentConfig::fig6(scenario);
+        // Scaled down for example speed; the fig6 binary uses 20 sets per
+        // bucket over [0.1, 0.9) with 1 s horizons.
+        config.plan.sets_per_bucket = 5;
+        config.plan.from = 0.2;
+        config.plan.to = 0.8;
+        config.horizon = Time::from_ms(400);
+        let result = run_experiment(&config);
+        println!("{}", table::render(&result));
+        println!(
+            "selective vs dp: max reduction {:.1}%, mean normalized {:.3} vs {:.3}\n",
+            result.max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority),
+            result.mean_normalized(PolicyKind::Selective),
+            result.mean_normalized(PolicyKind::DualPriority),
+        );
+    }
+}

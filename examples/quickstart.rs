@@ -1,0 +1,51 @@
+//! Quickstart: define a task set, check schedulability, and compare the
+//! three standby-sparing schemes on energy.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mkss::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A task is (period, deadline, WCET, m, k): at least m of any k
+    // consecutive jobs must complete by their deadlines. This is the
+    // paper's Section III example set.
+    let ts = TaskSet::new(vec![
+        Task::from_ms(5, 4, 3, 2, 4)?,
+        Task::from_ms(10, 10, 3, 1, 2)?,
+    ])?;
+    println!("{ts}");
+    println!("(m,k)-utilization: {:.3}", ts.mk_utilization());
+
+    // Offline analysis.
+    println!("schedulable under R-pattern: {}", is_schedulable_r_pattern(&ts));
+    let post = postponement_intervals(&ts, PostponeConfig::default())?;
+    for (id, _) in ts.iter() {
+        println!(
+            "  {id}: promotion Y = {}, postponement θ = {}",
+            post.promotion[id.0], post.theta[id.0]
+        );
+    }
+
+    // Simulate one hyperperiod with active-energy accounting.
+    let horizon = ts.hyperperiod();
+    let config = SimConfig::active_only(horizon);
+
+    for kind in PolicyKind::PAPER {
+        let mut policy = kind.build(&ts)?;
+        let report = simulate(&ts, policy.as_mut(), &config);
+        println!(
+            "\n{}: active energy {} over {horizon}, met {} / missed {}, (m,k) assured: {}",
+            report.policy,
+            report.active_energy(),
+            report.stats.met,
+            report.stats.missed,
+            report.mk_assured(),
+        );
+        if let Some(trace) = &report.trace {
+            print!("{}", trace.render_gantt_ms(horizon));
+        }
+    }
+    Ok(())
+}

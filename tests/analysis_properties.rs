@@ -1,0 +1,115 @@
+//! Cross-validation of the offline analyses against the simulator:
+//!
+//! * every observed mandatory-job response time is bounded by the
+//!   busy-window RTA result;
+//! * backups postponed by θ (Definitions 2–5) always meet their
+//!   deadlines even when they must run to completion (main processor
+//!   dead from t = 0) — the soundness claim behind Theorem 1;
+//! * promotion-time-delayed backups do too (the dual-priority baseline).
+
+use mkss::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn schedulable_set(seed: u64, util_pct: u64) -> Option<TaskSet> {
+    let config = WorkloadConfig {
+        tasks_min: 3,
+        tasks_max: 7,
+        ..WorkloadConfig::paper()
+    };
+    Generator::new(config, seed).schedulable_set(util_pct as f64 / 100.0)
+}
+
+/// Completion time per job id from the trace (only fully completed
+/// executions).
+fn completions(trace: &Trace, proc: ProcId) -> HashMap<JobId, Time> {
+    let mut map = HashMap::new();
+    for seg in trace.segments_on(proc) {
+        if seg.ended == SegmentEnd::Completed {
+            map.insert(seg.job, seg.end);
+        }
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Observed response times of mandatory main jobs on a single
+    /// processor never exceed the analyzed worst case.
+    #[test]
+    fn rta_bounds_observed_response_times(seed in 0u64..5_000, util_pct in 15u64..65) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let report = analyze(&ts, InterferenceModel::MandatoryOnly(Pattern::DeeplyRed));
+        prop_assert!(report.schedulable());
+
+        // All mains on the primary: the primary's schedule is exactly the
+        // mandatory-only FP schedule the analysis models.
+        let mut policy = PolicyKind::DualPriorityPrimary.build(&ts).unwrap();
+        let mut config = SimConfig::active_only(Time::from_ms(400));
+        config.record_trace = true;
+        let sim = simulate(&ts, policy.as_mut(), &config);
+        let trace = sim.trace.as_ref().unwrap();
+        let done = completions(trace, ProcId::PRIMARY);
+        for (job, finish) in done {
+            let task = ts.task(job.task);
+            let release = task.release_of(job.index);
+            let response = finish - release;
+            let bound = report.response_time(job.task).unwrap();
+            prop_assert!(
+                response <= bound,
+                "{job}: observed response {response} exceeds bound {bound} (seed {seed})"
+            );
+        }
+    }
+
+    /// With the primary dead from t = 0, every θ-postponed backup runs to
+    /// completion and still meets its deadline: zero missed jobs.
+    #[test]
+    fn postponed_backups_always_meet_deadlines(seed in 0u64..5_000, util_pct in 15u64..65) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let mut config = SimConfig::new(Time::from_ms(400));
+        config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO);
+        // Static classification (R-pattern) isolates the postponement
+        // machinery from dynamic-pattern effects.
+        let mut policy = PolicyKind::SelectiveNoPostpone.build(&ts).unwrap();
+        let nopost = simulate(&ts, policy.as_mut(), &config);
+        prop_assert!(nopost.mk_assured());
+
+        let mut policy = PolicyKind::Selective.build(&ts).unwrap();
+        let sel = simulate(&ts, policy.as_mut(), &config);
+        prop_assert!(sel.mk_assured(), "violations: {:?} (seed {seed})", sel.violations);
+
+        // The per-job extension (static patterns) must be just as safe.
+        let mut policy = PolicyKind::DualPriorityJobTheta.build(&ts).unwrap();
+        let job = simulate(&ts, policy.as_mut(), &config);
+        prop_assert!(job.mk_assured(), "job-theta violations: {:?} (seed {seed})", job.violations);
+        let mut policy = PolicyKind::DualPriorityTheta.build(&ts).unwrap();
+        let theta = simulate(&ts, policy.as_mut(), &config);
+        prop_assert!(theta.mk_assured(), "dp-theta violations: {:?} (seed {seed})", theta.violations);
+    }
+
+    /// The same for the dual-priority baseline's promotion-time delays.
+    #[test]
+    fn promoted_backups_always_meet_deadlines(seed in 0u64..5_000, util_pct in 15u64..65) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let mut config = SimConfig::new(Time::from_ms(400));
+        config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO);
+        let mut policy = PolicyKind::DualPriority.build(&ts).unwrap();
+        let report = simulate(&ts, policy.as_mut(), &config);
+        prop_assert!(report.mk_assured(), "violations: {:?} (seed {seed})", report.violations);
+    }
+
+    /// θ is always at least the promotion time (the fallback of
+    /// Section IV) and the postponement analysis is deterministic.
+    #[test]
+    fn theta_at_least_promotion(seed in 0u64..5_000, util_pct in 15u64..65) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let post = postponement_intervals(&ts, PostponeConfig::default()).unwrap();
+        for (theta, y) in post.theta.iter().zip(&post.promotion) {
+            prop_assert!(theta >= y);
+        }
+        let again = postponement_intervals(&ts, PostponeConfig::default()).unwrap();
+        prop_assert_eq!(post, again);
+    }
+}

@@ -1,0 +1,444 @@
+//! Differential testing of the event-driven engine against an
+//! independent, brutally simple millisecond-tick reference simulator.
+//!
+//! The reference re-implements the shared execution model (MJQ ≻ OJQ
+//! fixed-priority dispatch, sibling cancellation on success, optional
+//! feasibility abandonment, dynamic flexibility-degree classification)
+//! with none of the engine's event bookkeeping. On whole-millisecond
+//! task sets every engine event falls on a millisecond boundary, so the
+//! two must agree exactly on busy time, energy, and every job outcome.
+
+use mkss::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const STEP_MS: u64 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RefPolicy {
+    Static,
+    DualPriority,
+    Selective,
+}
+
+#[derive(Debug, Clone)]
+struct RefCopy {
+    task: usize,
+    index: u64,
+    release_ms: u64,
+    deadline_ms: u64,
+    remaining_ms: u64,
+    proc: usize,
+    mandatory: bool,
+    fd: u32,
+    sibling: Option<usize>,
+    state: u8, // 0 pending, 1 done, 2 canceled, 3 abandoned
+}
+
+#[derive(Debug, Default, Clone)]
+struct RefOutcome {
+    busy_ms: [u64; 2],
+    met: u64,
+    missed: u64,
+    outcomes: Vec<(usize, u64, bool)>, // (task, index, met)
+}
+
+/// The reference simulator: 1 ms ticks; optionally one permanent fault.
+fn reference_run(
+    ts: &TaskSet,
+    policy: RefPolicy,
+    horizon_ms: u64,
+    fault: Option<(usize, u64)>, // (processor, time in ms)
+) -> RefOutcome {
+    let n = ts.len();
+    let delays: Vec<u64> = match policy {
+        RefPolicy::Static => vec![0; n],
+        RefPolicy::DualPriority => {
+            // MKSS_DP promotes with the hard real-time all-jobs analysis,
+            // falling back to zero where it diverges (see MkssDp docs).
+            let report = analyze(ts, InterferenceModel::AllJobs);
+            ts.ids()
+                .map(|id| match report.response_time(id) {
+                    Some(r) => (ts.task(id).deadline() - r).ticks() / 1000,
+                    None => 0,
+                })
+                .collect()
+        }
+        RefPolicy::Selective => postponement_intervals(ts, PostponeConfig::default())
+            .expect("schedulable")
+            .theta
+            .iter()
+            .map(|t| t.ticks() / 1000)
+            .collect(),
+    };
+    let mut histories: Vec<MkHistory> = ts.iter().map(|(_, t)| MkHistory::new(t.mk())).collect();
+    let mut alternate: Vec<bool> = vec![false; n];
+    let mut next_index: Vec<u64> = vec![1; n];
+    let mut copies: Vec<RefCopy> = Vec::new();
+    // job id -> (copies, resolved, succeeded)
+    let mut jobs: BTreeMap<(usize, u64), (Vec<usize>, bool)> = BTreeMap::new();
+    let mut out = RefOutcome::default();
+
+    let resolve =
+        |histories: &mut Vec<MkHistory>,
+         copies: &mut Vec<RefCopy>,
+         jobs: &mut BTreeMap<(usize, u64), (Vec<usize>, bool)>,
+         out: &mut RefOutcome,
+         task: usize,
+         index: u64,
+         met: bool| {
+            let entry = jobs.get_mut(&(task, index)).expect("job exists");
+            assert!(!entry.1, "double resolution");
+            entry.1 = true;
+            histories[task].record(if met { JobOutcome::Met } else { JobOutcome::Missed });
+            if met {
+                out.met += 1;
+            } else {
+                out.missed += 1;
+                for &c in &entry.0 {
+                    if copies[c].state == 0 {
+                        copies[c].state = 3;
+                    }
+                }
+            }
+            out.outcomes.push((task, index, met));
+        };
+
+    let mut alive = [true, true];
+    for t in (0..horizon_ms).step_by(STEP_MS as usize) {
+        // 0. permanent fault at t: kill the processor's pending copies.
+        if let Some((proc, at)) = fault {
+            if alive[proc] && at <= t {
+                alive[proc] = false;
+                for c in copies.iter_mut() {
+                    if c.proc == proc && c.state == 0 {
+                        c.state = 4; // lost
+                    }
+                }
+            }
+        }
+        // 1. deadline misses at t.
+        let due: Vec<(usize, u64)> = jobs
+            .iter()
+            .filter(|(&(task, index), &(_, resolved))| {
+                !resolved && ts.task(TaskId(task)).deadline_of(index).ticks() / 1000 <= t
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for (task, index) in due {
+            resolve(&mut histories, &mut copies, &mut jobs, &mut out, task, index, false);
+        }
+        // 2. releases at t.
+        for task in 0..n {
+            let tk = ts.task(TaskId(task));
+            loop {
+                let index = next_index[task];
+                let release_ms = tk.release_of(index).ticks() / 1000;
+                let deadline_ms = tk.deadline_of(index).ticks() / 1000;
+                if deadline_ms > horizon_ms || release_ms > t {
+                    break;
+                }
+                next_index[task] += 1;
+                let c_ms = tk.wcet().ticks() / 1000;
+                let fd = histories[task].flexibility_degree();
+                let statically_mandatory = Pattern::DeeplyRed.is_mandatory(tk.mk(), index);
+                let mandatory = match policy {
+                    RefPolicy::Static | RefPolicy::DualPriority => statically_mandatory,
+                    RefPolicy::Selective => fd == 0,
+                };
+                let mut job_copies = Vec::new();
+                if mandatory {
+                    let main_proc = match policy {
+                        RefPolicy::DualPriority => task % 2,
+                        _ => 0,
+                    };
+                    if alive[main_proc] {
+                        let main = copies.len();
+                        copies.push(RefCopy {
+                            task,
+                            index,
+                            release_ms,
+                            deadline_ms,
+                            remaining_ms: c_ms,
+                            proc: main_proc,
+                            mandatory: true,
+                            fd: 0,
+                            sibling: None,
+                            state: 0,
+                        });
+                        job_copies.push(main);
+                        if alive[1 - main_proc] {
+                            copies.push(RefCopy {
+                                task,
+                                index,
+                                release_ms: release_ms + delays[task],
+                                deadline_ms,
+                                remaining_ms: c_ms,
+                                proc: 1 - main_proc,
+                                mandatory: true,
+                                fd: 0,
+                                sibling: Some(main),
+                                state: 0,
+                            });
+                            copies[main].sibling = Some(main + 1);
+                            job_copies.push(main + 1);
+                        }
+                    } else {
+                        // Main processor dead: single backup-delayed copy
+                        // on the survivor (mirrors the engine's jitter
+                        // avoidance).
+                        let idx = copies.len();
+                        copies.push(RefCopy {
+                            task,
+                            index,
+                            release_ms: release_ms + delays[task],
+                            deadline_ms,
+                            remaining_ms: c_ms,
+                            proc: 1 - main_proc,
+                            mandatory: true,
+                            fd: 0,
+                            sibling: None,
+                            state: 0,
+                        });
+                        job_copies.push(idx);
+                    }
+                } else if policy == RefPolicy::Selective && fd == 1 {
+                    let mut proc = usize::from(alternate[task]);
+                    alternate[task] = !alternate[task];
+                    if !alive[proc] {
+                        proc = 1 - proc;
+                    }
+                    let idx = copies.len();
+                    copies.push(RefCopy {
+                        task,
+                        index,
+                        release_ms,
+                        deadline_ms,
+                        remaining_ms: c_ms,
+                        proc,
+                        mandatory: false,
+                        fd,
+                        sibling: None,
+                        state: 0,
+                    });
+                    job_copies.push(idx);
+                }
+                jobs.insert((task, index), (job_copies, false));
+            }
+        }
+        // 3. abandon infeasible optionals, then dispatch one tick.
+        let mut completed: Vec<usize> = Vec::new();
+        for proc in 0..2 {
+            if !alive[proc] {
+                continue;
+            }
+            for c in 0..copies.len() {
+                let cp = &copies[c];
+                if cp.proc == proc
+                    && cp.state == 0
+                    && !cp.mandatory
+                    && cp.release_ms <= t
+                    && t + cp.remaining_ms > cp.deadline_ms
+                {
+                    copies[c].state = 3;
+                }
+            }
+            let pick = copies
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.proc == proc && c.state == 0 && c.release_ms <= t && c.mandatory)
+                .min_by_key(|(_, c)| (c.task, c.index))
+                .map(|(i, _)| i)
+                .or_else(|| {
+                    copies
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| {
+                            c.proc == proc && c.state == 0 && c.release_ms <= t && !c.mandatory
+                        })
+                        .min_by_key(|(_, c)| (c.fd, c.task, c.index))
+                        .map(|(i, _)| i)
+                });
+            if let Some(c) = pick {
+                out.busy_ms[proc] += STEP_MS;
+                copies[c].remaining_ms -= STEP_MS;
+                if copies[c].remaining_ms == 0 {
+                    completed.push(c);
+                }
+            }
+        }
+        // 4. completions take effect at t+1: mark done, resolve, cancel.
+        for c in completed.clone() {
+            copies[c].state = 1;
+        }
+        for c in completed {
+            let (task, index) = (copies[c].task, copies[c].index);
+            if !jobs[&(task, index)].1 {
+                resolve(&mut histories, &mut copies, &mut jobs, &mut out, task, index, true);
+            }
+            if let Some(s) = copies[c].sibling {
+                if copies[s].state == 0 {
+                    copies[s].state = 2;
+                }
+            }
+        }
+    }
+    // Final pass at the horizon.
+    let due: Vec<(usize, u64)> = jobs
+        .iter()
+        .filter(|(_, &(_, resolved))| !resolved)
+        .map(|(&k, _)| k)
+        .collect();
+    for (task, index) in due {
+        resolve(&mut histories, &mut copies, &mut jobs, &mut out, task, index, false);
+    }
+    out
+}
+
+/// Whole-millisecond schedulable sets only (so every engine event is
+/// ms-aligned and the reference's 1 ms ticks are exact).
+fn schedulable_set(seed: u64, util_pct: u64) -> Option<TaskSet> {
+    let config = WorkloadConfig {
+        tasks_min: 2,
+        tasks_max: 5,
+        period_ms: (4, 20),
+        ..WorkloadConfig::paper()
+    };
+    let mut generator = Generator::new(config, seed);
+    for _ in 0..200 {
+        // Round WCETs to whole milliseconds and re-validate.
+        if let Some(ts) = generator.raw_set(util_pct as f64 / 100.0) {
+            let rounded: Option<Vec<Task>> = ts
+                .iter()
+                .map(|(_, t)| {
+                    let ms = (t.wcet().ticks() + 999) / 1000;
+                    Task::with_constraint(
+                        t.period(),
+                        t.deadline(),
+                        Time::from_ms(ms.max(1)),
+                        t.mk(),
+                    )
+                    .ok()
+                })
+                .collect();
+            if let Some(tasks) = rounded {
+                if let Ok(ts) = TaskSet::new(tasks) {
+                    if is_schedulable_r_pattern(&ts) {
+                        return Some(ts);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn engine_run(
+    ts: &TaskSet,
+    policy: RefPolicy,
+    horizon_ms: u64,
+    fault: Option<(usize, u64)>,
+) -> SimReport {
+    let mut config = SimConfig::active_only(Time::from_ms(horizon_ms));
+    if let Some((proc, at)) = fault {
+        config.faults = FaultConfig::permanent(ProcId(proc), Time::from_ms(at));
+    }
+    match policy {
+        RefPolicy::Static => simulate(ts, &mut MkssSt::new(), &config),
+        RefPolicy::DualPriority => simulate(ts, &mut MkssDp::new(ts).unwrap(), &config),
+        RefPolicy::Selective => simulate(ts, &mut MkssSelective::new(ts).unwrap(), &config),
+    }
+}
+
+fn compare(ts: &TaskSet, policy: RefPolicy, horizon_ms: u64) {
+    compare_with_fault(ts, policy, horizon_ms, None)
+}
+
+fn compare_with_fault(
+    ts: &TaskSet,
+    policy: RefPolicy,
+    horizon_ms: u64,
+    fault: Option<(usize, u64)>,
+) {
+    let reference = reference_run(ts, policy, horizon_ms, fault);
+    let engine = engine_run(ts, policy, horizon_ms, fault);
+    for proc in 0..2 {
+        assert_eq!(
+            engine.energy[proc].busy_time,
+            Time::from_ms(reference.busy_ms[proc]),
+            "{policy:?}: busy time mismatch on proc {proc} for\n{ts}\nengine trace:\n{}",
+            engine
+                .trace
+                .as_ref()
+                .map(|t| t.render_gantt_ms(Time::from_ms(horizon_ms.min(60))))
+                .unwrap_or_default()
+        );
+    }
+    assert_eq!(engine.stats.met, reference.met, "{policy:?}: met mismatch");
+    assert_eq!(
+        engine.stats.missed, reference.missed,
+        "{policy:?}: missed mismatch"
+    );
+    // Outcome-by-outcome comparison via the resolution log.
+    let engine_outcomes: Vec<(usize, u64, bool)> = engine
+        .trace
+        .as_ref()
+        .unwrap()
+        .resolutions
+        .iter()
+        .map(|r| (r.job.task.0, r.job.index, r.outcome.is_met()))
+        .collect();
+    let mut sorted_ref = reference.outcomes.clone();
+    sorted_ref.sort();
+    let mut sorted_engine = engine_outcomes;
+    sorted_engine.sort();
+    assert_eq!(sorted_engine, sorted_ref, "{policy:?}: outcome mismatch");
+}
+
+#[test]
+fn engine_matches_reference_on_paper_sets() {
+    let fig1 = TaskSet::new(vec![
+        Task::from_ms(5, 4, 3, 2, 4).unwrap(),
+        Task::from_ms(10, 10, 3, 1, 2).unwrap(),
+    ])
+    .unwrap();
+    for policy in [RefPolicy::Static, RefPolicy::DualPriority, RefPolicy::Selective] {
+        compare(&fig1, policy, 100);
+    }
+    let fig5 = TaskSet::new(vec![
+        Task::from_ms(10, 10, 3, 2, 3).unwrap(),
+        Task::from_ms(15, 15, 8, 1, 2).unwrap(),
+    ])
+    .unwrap();
+    for policy in [RefPolicy::Static, RefPolicy::DualPriority, RefPolicy::Selective] {
+        compare(&fig5, policy, 120);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_reference_on_random_sets(seed in 0u64..20_000, util_pct in 10u64..60) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        for policy in [RefPolicy::Static, RefPolicy::DualPriority, RefPolicy::Selective] {
+            compare(&ts, policy, 200);
+        }
+    }
+
+    /// The same job-for-job agreement with a permanent fault at an
+    /// arbitrary whole-millisecond instant on either processor.
+    #[test]
+    fn engine_matches_reference_under_permanent_fault(
+        seed in 0u64..20_000,
+        util_pct in 10u64..55,
+        fault_ms in 0u64..200,
+        on_primary in any::<bool>(),
+    ) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let fault = Some((usize::from(!on_primary), fault_ms));
+        for policy in [RefPolicy::Static, RefPolicy::DualPriority, RefPolicy::Selective] {
+            compare_with_fault(&ts, policy, 200, fault);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Serde round-trips of every serializable data structure the crates
+//! expose — configurations, task sets, reports, and traces survive a
+//! JSON round-trip bit-for-bit (modulo f64 text formatting, which
+//! serde_json preserves exactly for finite values).
+
+use mkss::prelude::*;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+fn sample_set() -> TaskSet {
+    TaskSet::new(vec![
+        Task::from_ms(5, 4, 3, 2, 4).unwrap(),
+        Task::from_ms(10, 10, 3, 1, 2).unwrap(),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn task_set_roundtrip() {
+    let ts = sample_set();
+    assert_eq!(roundtrip(&ts), ts);
+}
+
+#[test]
+fn time_and_constraint_roundtrip() {
+    let t = Time::from_us(2_500);
+    assert_eq!(roundtrip(&t), t);
+    let mk = MkConstraint::new(3, 7).unwrap();
+    assert_eq!(roundtrip(&mk), mk);
+    let p = Pattern::EvenlyDistributed;
+    assert_eq!(roundtrip(&p), p);
+}
+
+#[test]
+fn history_and_monitor_roundtrip() {
+    let mut h = MkHistory::new(MkConstraint::new(2, 5).unwrap());
+    h.record(JobOutcome::Missed);
+    h.record(JobOutcome::Met);
+    let h2 = roundtrip(&h);
+    assert_eq!(h2, h);
+    assert_eq!(h2.flexibility_degree(), h.flexibility_degree());
+
+    let mut mon = MkMonitor::new(MkConstraint::new(1, 2).unwrap());
+    mon.record(false);
+    assert_eq!(roundtrip(&mon), mon);
+}
+
+#[test]
+fn sim_config_and_fault_config_roundtrip() {
+    let mut config = SimConfig::new(Time::from_ms(500));
+    config.faults = FaultConfig::combined(ProcId::SPARE, Time::from_ms(33), 1e-6, 77);
+    let back = roundtrip(&config);
+    assert_eq!(back, config);
+}
+
+#[test]
+fn report_with_trace_roundtrip() {
+    let ts = sample_set();
+    let mut policy = MkssSelective::new(&ts).unwrap();
+    let report = simulate(&ts, &mut policy, &SimConfig::active_only(Time::from_ms(40)));
+    let back = roundtrip(&report);
+    assert_eq!(back.policy, report.policy);
+    assert_eq!(back.trace, report.trace);
+    assert_eq!(back.stats, report.stats);
+    assert!((back.total_energy().units() - report.total_energy().units()).abs() < 1e-12);
+}
+
+#[test]
+fn workload_config_roundtrip() {
+    let cfg = WorkloadConfig::paper();
+    assert_eq!(roundtrip(&cfg), cfg);
+    let plan = BucketPlan::default();
+    assert_eq!(roundtrip(&plan), plan);
+}
+
+#[test]
+fn experiment_result_roundtrip() {
+    use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+    let mut cfg = ExperimentConfig::fig6(Scenario::Combined);
+    cfg.plan.sets_per_bucket = 1;
+    cfg.plan.from = 0.3;
+    cfg.plan.to = 0.4;
+    cfg.horizon = Time::from_ms(200);
+    let result = run_experiment(&cfg);
+    let json = serde_json::to_string_pretty(&result).expect("serializes");
+    let back: mkss_bench::experiment::ExperimentResult =
+        serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.buckets.len(), result.buckets.len());
+    for (a, b) in back.buckets.iter().zip(&result.buckets) {
+        assert_eq!(a.normalized, b.normalized);
+    }
+}

@@ -1,0 +1,95 @@
+//! Theorem 1 as an executable property: for any task set schedulable
+//! under the R-pattern, the selective scheme (and every other scheme in
+//! the crate) assures the (m,k)-deadlines — fault-free, under one
+//! permanent fault at an arbitrary instant, and with the backup-recovery
+//! path exercised by transient faults.
+
+use mkss::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a schedulable random task set from the Section-V generator,
+/// parameterized by seed and target utilization.
+fn schedulable_set(seed: u64, util_pct: u64) -> Option<TaskSet> {
+    let config = WorkloadConfig {
+        tasks_min: 3,
+        tasks_max: 6,
+        ..WorkloadConfig::paper()
+    };
+    Generator::new(config, seed).schedulable_set(util_pct as f64 / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free runs never violate (m,k) for any scheme.
+    #[test]
+    fn no_violations_fault_free(seed in 0u64..10_000, util_pct in 15u64..70) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let config = SimConfig::new(Time::from_ms(500));
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build(&ts).unwrap();
+            let report = simulate(&ts, policy.as_mut(), &config);
+            prop_assert!(
+                report.mk_assured(),
+                "{} violated (m,k) on seed {seed} util {util_pct}: {:?}",
+                kind, report.violations
+            );
+            // Sanity: everything mandatory was met.
+            prop_assert!(report.stats.met + report.stats.missed == report.stats.released);
+        }
+    }
+
+    /// One permanent fault anywhere, on either processor: still assured.
+    #[test]
+    fn no_violations_under_permanent_fault(
+        seed in 0u64..10_000,
+        util_pct in 15u64..65,
+        fault_ms in 0u64..500,
+        on_primary in any::<bool>(),
+    ) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let proc = if on_primary { ProcId::PRIMARY } else { ProcId::SPARE };
+        let mut config = SimConfig::new(Time::from_ms(500));
+        config.faults = FaultConfig::permanent(proc, Time::from_ms(fault_ms));
+        for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Selective] {
+            let mut policy = kind.build(&ts).unwrap();
+            let report = simulate(&ts, policy.as_mut(), &config);
+            prop_assert!(
+                report.mk_assured(),
+                "{} violated (m,k) with {proc} fault at {fault_ms}ms (seed {seed})",
+                kind
+            );
+        }
+    }
+
+    /// Transient faults at a rate high enough to exercise the
+    /// backup-recovery path (but low enough that double faults — the only
+    /// unprotected case — stay absent for the sampled seeds).
+    #[test]
+    fn transients_recovered_by_backups(seed in 0u64..2_000, util_pct in 15u64..50) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let mut config = SimConfig::new(Time::from_ms(400));
+        config.faults = FaultConfig::transient(0.002, seed);
+        let mut policy = MkssSelective::new(&ts).unwrap();
+        let report = simulate(&ts, &mut policy, &config);
+        // A mandatory job only misses if BOTH copies fault (probability
+        // ~1e-4 per job here); a selected optional job's fault is
+        // tolerated by design (the next job turns mandatory). Either way
+        // the constraint must hold.
+        prop_assert!(report.mk_assured(), "violations: {:?}", report.violations);
+    }
+
+    /// Determinism: identical configuration ⇒ identical outcome.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..5_000) {
+        let Some(ts) = schedulable_set(seed, 40) else { return Ok(()); };
+        let mut config = SimConfig::new(Time::from_ms(300));
+        config.faults = FaultConfig::combined(ProcId::SPARE, Time::from_ms(123), 0.001, seed);
+        let run = |ts: &TaskSet| {
+            let mut policy = MkssSelective::new(ts).unwrap();
+            let r = simulate(ts, &mut policy, &config);
+            (r.total_energy().units(), r.stats)
+        };
+        prop_assert_eq!(run(&ts), run(&ts));
+    }
+}
