@@ -41,10 +41,7 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| black_box(run_experiment(black_box(&cfg))));
     });
     group.bench_function("postponement", |b| {
-        let cfg = scaled(vec![
-            PolicyKind::Selective,
-            PolicyKind::SelectiveNoPostpone,
-        ]);
+        let cfg = scaled(vec![PolicyKind::Selective, PolicyKind::SelectiveNoPostpone]);
         b.iter(|| black_box(run_experiment(black_box(&cfg))));
     });
     group.finish();

@@ -36,7 +36,12 @@ fn bench_analysis(c: &mut Criterion) {
         b.iter(|| black_box(analyze(black_box(&ts), InterferenceModel::AllJobs)))
     });
     c.bench_function("postpone/intervals", |b| {
-        b.iter(|| black_box(postponement_intervals(black_box(&ts), PostponeConfig::default())))
+        b.iter(|| {
+            black_box(postponement_intervals(
+                black_box(&ts),
+                PostponeConfig::default(),
+            ))
+        })
     });
     c.bench_function("postpone/per_job", |b| {
         b.iter(|| black_box(job_postponement(black_box(&ts), PostponeConfig::default())))
@@ -87,7 +92,12 @@ fn bench_trace_tools(c: &mut Criterion) {
         b.iter(|| black_box(mkss_sim::vcd::render_vcd(black_box(trace), ts.len())))
     });
     c.bench_function("trace/metrics", |b| {
-        b.iter(|| black_box(mkss_sim::metrics::analyze_trace(black_box(&ts), black_box(trace))))
+        b.iter(|| {
+            black_box(mkss_sim::metrics::analyze_trace(
+                black_box(&ts),
+                black_box(trace),
+            ))
+        })
     });
 }
 

@@ -8,17 +8,19 @@
 //!
 //! ```text
 //! ablations [--sets N] [--horizon-ms MS] [--seed S] [--scenario ...]
+//!           [--jobs N]
 //! ```
 
 use std::process::ExitCode;
 
-use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_bench::experiment::{run_experiment_jobs, ExperimentConfig, Scenario};
 use mkss_bench::table;
 use mkss_core::time::Time;
 use mkss_policies::PolicyKind;
 
 fn main() -> ExitCode {
     let mut template = ExperimentConfig::fig6(Scenario::NoFault);
+    let mut jobs = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -37,10 +39,11 @@ fn main() -> ExitCode {
                 }
                 "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--scenario" => template.scenario = value()?.parse()?,
+                "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
                 "--help" | "-h" => {
                     println!(
                         "usage: ablations [--sets N] [--horizon-ms MS] [--seed S] \
-                         [--scenario no-fault|permanent|combined]"
+                         [--scenario no-fault|permanent|combined] [--jobs N]"
                     );
                     std::process::exit(0);
                 }
@@ -104,7 +107,8 @@ fn main() -> ExitCode {
         println!("== {title} ==");
         let mut config = template.clone();
         config.policies = policies;
-        let result = run_experiment(&config);
+        let result = run_experiment_jobs(&config, jobs);
+        eprintln!("{title}: {}", result.stats.summary());
         println!("{}", table::render(&result));
     }
     ExitCode::SUCCESS

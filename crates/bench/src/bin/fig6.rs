@@ -5,12 +5,15 @@
 //! ```text
 //! fig6 [--scenario no-fault|permanent|combined|all]
 //!      [--sets N] [--from U] [--to U] [--horizon-ms MS]
-//!      [--seed S] [--policies st,dp,selective,...] [--json FILE]
+//!      [--seed S] [--policies st,dp,selective,...] [--jobs N]
+//!      [--json FILE]
 //! ```
 
 use std::process::ExitCode;
 
-use mkss_bench::experiment::{run_experiment, run_replicated, ExperimentConfig, Scenario};
+use mkss_bench::experiment::{
+    run_experiment_jobs, run_replicated_jobs, ExperimentConfig, RunStats, Scenario,
+};
 use mkss_bench::table;
 use mkss_core::time::Time;
 use mkss_policies::PolicyKind;
@@ -21,6 +24,27 @@ struct Args {
     json: Option<String>,
     html: Option<String>,
     replications: u32,
+    jobs: usize,
+}
+
+/// Stderr report of one run's counters, including warnings that would
+/// otherwise hide inside the serialized stats.
+fn report_stats(stats: &RunStats) {
+    eprintln!("  {}", stats.summary());
+    for bucket in &stats.buckets {
+        if let Some(error) = &bucket.first_build_error {
+            eprintln!(
+                "  warning: bucket {:.2} dropped {} set(s) on build errors (first: {error})",
+                bucket.midpoint, bucket.skipped_build_errors
+            );
+        }
+    }
+    if stats.empty_buckets > 0 {
+        eprintln!(
+            "  warning: {} of {} buckets produced no data and were omitted",
+            stats.empty_buckets, stats.buckets_planned
+        );
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json = None;
     let mut html = None;
     let mut replications = 1u32;
+    let mut jobs = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -48,7 +73,9 @@ fn parse_args() -> Result<Args, String> {
                 template.plan.sets_per_bucket =
                     value()?.parse().map_err(|e| format!("--sets: {e}"))?
             }
-            "--from" => template.plan.from = value()?.parse().map_err(|e| format!("--from: {e}"))?,
+            "--from" => {
+                template.plan.from = value()?.parse().map_err(|e| format!("--from: {e}"))?
+            }
             "--to" => template.plan.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
             "--horizon-ms" => {
                 template.horizon =
@@ -81,12 +108,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--replications must be at least 1".into());
                 }
             }
+            "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--help" | "-h" => {
                 println!(
                     "usage: fig6 [--scenario no-fault|permanent|combined|all] [--sets N] \
                      [--from U] [--to U] [--horizon-ms MS] [--seed S] \
                      [--policies st,dp,selective,...] [--fault-window LO..HI] \
-                     [--replications N] [--json FILE] [--html FILE]"
+                     [--replications N] [--jobs N] [--json FILE] [--html FILE]\n\
+                     --jobs N bounds the worker threads (0 = all cores, the default);\n\
+                     results are identical for every value."
                 );
                 std::process::exit(0);
             }
@@ -99,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         json,
         html,
         replications,
+        jobs,
     })
 }
 
@@ -122,10 +153,12 @@ fn main() -> ExitCode {
             config.horizon,
         );
         if args.replications > 1 {
-            let replicated = run_replicated(&config, args.replications);
+            let replicated = run_replicated_jobs(&config, args.replications, args.jobs);
+            report_stats(&replicated.stats);
             println!("{}", table::render_replicated(&replicated));
         }
-        let result = run_experiment(&config);
+        let result = run_experiment_jobs(&config, args.jobs);
+        report_stats(&result.stats);
         println!("{}", table::render(&result));
         all_results.push(result);
     }

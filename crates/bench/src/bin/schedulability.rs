@@ -5,15 +5,17 @@
 //! rotation.
 //!
 //! ```text
-//! schedulability [--samples N] [--from U] [--to U] [--seed S]
+//! schedulability [--samples N] [--from U] [--to U] [--seed S] [--jobs N]
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use mkss_bench::sched::{render, schedulability_experiment, SchedConfig};
+use mkss_bench::sched::{render, schedulability_experiment_jobs, SchedConfig};
 
 fn main() -> ExitCode {
     let mut config = SchedConfig::default();
+    let mut jobs = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -29,8 +31,12 @@ fn main() -> ExitCode {
                 "--from" => config.from = value()?.parse().map_err(|e| format!("--from: {e}"))?,
                 "--to" => config.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
                 "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
                 "--help" | "-h" => {
-                    println!("usage: schedulability [--samples N] [--from U] [--to U] [--seed S]");
+                    println!(
+                        "usage: schedulability [--samples N] [--from U] [--to U] [--seed S] \
+                         [--jobs N]"
+                    );
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -42,7 +48,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let rows = schedulability_experiment(&config);
+    let start = Instant::now();
+    let rows = schedulability_experiment_jobs(&config, jobs);
+    let samples: u64 = rows.iter().map(|r| u64::from(r.samples)).sum();
+    eprintln!(
+        "{} buckets, {} samples in {:.1} ms",
+        rows.len(),
+        samples,
+        start.elapsed().as_secs_f64() * 1e3
+    );
     print!("{}", render(&rows));
     ExitCode::SUCCESS
 }

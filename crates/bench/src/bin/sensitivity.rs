@@ -6,12 +6,12 @@
 //! conclusions are to the unspecified parameters.
 //!
 //! ```text
-//! sensitivity [--sets N] [--horizon-ms MS] [--seed S]
+//! sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N]
 //! ```
 
 use std::process::ExitCode;
 
-use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_bench::experiment::{run_experiment_jobs, ExperimentConfig, Scenario};
 use mkss_core::time::Time;
 use mkss_policies::PolicyKind;
 
@@ -24,8 +24,9 @@ fn base_config() -> ExperimentConfig {
     cfg
 }
 
-fn report_line(cfg: &ExperimentConfig, label: &str) {
-    let result = run_experiment(cfg);
+fn report_line(cfg: &ExperimentConfig, jobs: usize, label: &str) {
+    let result = run_experiment_jobs(cfg, jobs);
+    eprintln!("{label}: {}", result.stats.summary());
     println!(
         "{label:>22}: dp {:.4}  selective {:.4}  (violations {})",
         result.mean_normalized(PolicyKind::DualPriority),
@@ -36,6 +37,7 @@ fn report_line(cfg: &ExperimentConfig, label: &str) {
 
 fn main() -> ExitCode {
     let mut template = base_config();
+    let mut jobs = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -53,8 +55,11 @@ fn main() -> ExitCode {
                         Time::from_ms(value()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?)
                 }
                 "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
                 "--help" | "-h" => {
-                    println!("usage: sensitivity [--sets N] [--horizon-ms MS] [--seed S]");
+                    println!(
+                        "usage: sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N]"
+                    );
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -71,14 +76,14 @@ fn main() -> ExitCode {
     for tbe_us in [100u64, 500, 1_000, 5_000, 20_000] {
         let mut cfg = template.clone();
         cfg.power.t_be = Time::from_us(tbe_us);
-        report_line(&cfg, &format!("T_be = {}", Time::from_us(tbe_us)));
+        report_line(&cfg, jobs, &format!("T_be = {}", Time::from_us(tbe_us)));
     }
 
     println!("\n== sensitivity: idle (leakage) power, fraction of P_act ==");
     for p_idle in [0.0, 0.05, 0.1, 0.3, 1.0] {
         let mut cfg = template.clone();
         cfg.power.p_idle = p_idle;
-        report_line(&cfg, &format!("p_idle = {p_idle}"));
+        report_line(&cfg, jobs, &format!("p_idle = {p_idle}"));
     }
 
     println!("\n== sensitivity: transient fault rate (permanent+transient scenario) ==");
@@ -86,7 +91,7 @@ fn main() -> ExitCode {
         let mut cfg = template.clone();
         cfg.scenario = Scenario::Combined;
         cfg.transient_rate_per_ms = rate;
-        report_line(&cfg, &format!("λ = {rate}/ms"));
+        report_line(&cfg, jobs, &format!("λ = {rate}/ms"));
     }
 
     ExitCode::SUCCESS

@@ -3,7 +3,9 @@
 //! `MKSS_ST`.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
+use mkss_core::par;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
 use mkss_policies::PolicyKind;
@@ -11,7 +13,7 @@ use mkss_sim::engine::{simulate, SimConfig};
 use mkss_sim::fault::FaultConfig;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
-use mkss_workload::{generate_buckets, BucketPlan, WorkloadConfig};
+use mkss_workload::{generate_buckets_jobs, BucketPlan, WorkloadConfig};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -153,20 +155,122 @@ pub struct BucketResult {
     pub violations: BTreeMap<PolicyKind, u64>,
 }
 
+/// Per-bucket observability counters of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketStats {
+    /// Bucket midpoint ((m,k)-utilization).
+    pub midpoint: f64,
+    /// Summed wall time of the bucket's set simulations in milliseconds
+    /// (CPU time under parallel runs; zeroed by
+    /// [`RunStats::strip_timing`]).
+    pub wall_ms: f64,
+    /// Sets simulated and counted into the bucket's means.
+    pub sets_simulated: usize,
+    /// Sets the workload generator produced while filling the bucket.
+    pub sets_generated: u64,
+    /// Sets dropped because a policy could not be built for them.
+    pub skipped_build_errors: u64,
+    /// Sets dropped because the `MKSS_ST` reference consumed no energy.
+    pub skipped_zero_reference: u64,
+    /// First policy-build error observed in this bucket, if any.
+    pub first_build_error: Option<String>,
+}
+
+/// Observability counters of one [`run_experiment_jobs`] call, serialized
+/// alongside the results. Timing fields (and the worker count) depend on
+/// the machine and scheduling; everything else is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Worker threads used (resolved from the `jobs` knob).
+    pub jobs: usize,
+    /// Total wall time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// Simulations per wall-clock second (sets × policies / wall time).
+    pub sims_per_second: f64,
+    /// Buckets in the plan (including ones that came up empty).
+    pub buckets_planned: usize,
+    /// Buckets omitted from [`ExperimentResult::buckets`] because no
+    /// generated set survived simulation.
+    pub empty_buckets: usize,
+    /// Sets simulated and counted across all buckets.
+    pub sets_simulated: u64,
+    /// Sets the workload generator produced across all buckets.
+    pub sets_generated: u64,
+    /// Sets dropped because a policy could not be built.
+    pub skipped_build_errors: u64,
+    /// Sets dropped because the reference consumed no energy.
+    pub skipped_zero_reference: u64,
+    /// Total (m,k)-violations per policy across all buckets.
+    pub violations: BTreeMap<PolicyKind, u64>,
+    /// Per-bucket breakdown (every planned bucket, empty ones included).
+    pub buckets: Vec<BucketStats>,
+}
+
+impl RunStats {
+    /// Zeroes every machine- or schedule-dependent field (wall times,
+    /// throughput, worker count), leaving only deterministic counters —
+    /// two runs of the same config then compare equal regardless of the
+    /// `jobs` knob.
+    pub fn strip_timing(&mut self) {
+        self.jobs = 0;
+        self.wall_ms = 0.0;
+        self.sims_per_second = 0.0;
+        for bucket in &mut self.buckets {
+            bucket.wall_ms = 0.0;
+        }
+    }
+
+    /// One-line human summary (for stderr progress output).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sets simulated ({} generated, {} skipped) across {}/{} buckets \
+             in {:.1} ms on {} worker(s), {:.0} sims/s",
+            self.sets_simulated,
+            self.sets_generated,
+            self.skipped_build_errors + self.skipped_zero_reference,
+            self.buckets_planned - self.empty_buckets,
+            self.buckets_planned,
+            self.wall_ms,
+            self.jobs,
+            self.sims_per_second,
+        )
+    }
+
+    fn absorb(&mut self, other: &RunStats) {
+        self.wall_ms += other.wall_ms;
+        self.buckets_planned += other.buckets_planned;
+        self.empty_buckets += other.empty_buckets;
+        self.sets_simulated += other.sets_simulated;
+        self.sets_generated += other.sets_generated;
+        self.skipped_build_errors += other.skipped_build_errors;
+        self.skipped_zero_reference += other.skipped_zero_reference;
+        for (&kind, &count) in &other.violations {
+            *self.violations.entry(kind).or_default() += count;
+        }
+        self.buckets.extend(other.buckets.iter().cloned());
+    }
+}
+
 /// Result of a whole experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// The configuration that produced it.
     pub config: ExperimentConfig,
-    /// One row per utilization bucket.
+    /// One row per utilization bucket **that produced data**; buckets
+    /// where no generated set survived simulation are omitted (see
+    /// [`RunStats::empty_buckets`]).
     pub buckets: Vec<BucketResult>,
+    /// Observability counters of the run.
+    pub stats: RunStats,
 }
 
 impl ExperimentResult {
     /// Maximum energy reduction (in percent) of `a` relative to `b`
     /// across all buckets — the paper's headline "up to X%" numbers
-    /// (e.g. `MKSS_selective` vs `MKSS_DP`).
-    pub fn max_reduction_pct(&self, a: PolicyKind, b: PolicyKind) -> f64 {
+    /// (e.g. `MKSS_selective` vs `MKSS_DP`). `None` when no bucket has
+    /// data for both policies (previously this returned `-inf`).
+    pub fn max_reduction_pct(&self, a: PolicyKind, b: PolicyKind) -> Option<f64> {
         self.buckets
             .iter()
             .filter_map(|bkt| {
@@ -178,7 +282,9 @@ impl ExperimentResult {
                     None
                 }
             })
-            .fold(f64::NEG_INFINITY, f64::max)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |m| m.max(v)))
+            })
     }
 
     /// Mean normalized energy of `policy` across buckets.
@@ -204,58 +310,155 @@ impl ExperimentResult {
     }
 }
 
+/// Runs the experiment with the default worker count (all available
+/// parallelism); see [`run_experiment_jobs`].
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    run_experiment_jobs(config, 0)
+}
+
+/// Per-bucket accumulator used while folding simulation outcomes back
+/// into `BucketResult`/`BucketStats` rows.
+#[derive(Default)]
+struct BucketAccumulator {
+    sums: BTreeMap<PolicyKind, f64>,
+    abs_sums: BTreeMap<PolicyKind, f64>,
+    violations: BTreeMap<PolicyKind, u64>,
+    counted: usize,
+    build_errors: u64,
+    zero_references: u64,
+    first_build_error: Option<String>,
+    wall_ms: f64,
+}
+
 /// Runs the experiment: generates the bucketed workloads, simulates every
 /// policy on every set under the scenario's fault plan, and aggregates
 /// normalized energies.
 ///
+/// `jobs` bounds the worker-thread pool (`0` = available parallelism).
+/// The result is **bit-identical for every `jobs` value** except the
+/// timing fields of [`RunStats`]: workloads use one RNG stream per
+/// bucket, fault plans key off the set's global index, and sums are
+/// folded in set order.
+///
 /// Task sets where a policy cannot be built (not R-pattern schedulable —
 /// excluded by the generator already) or where the reference consumes no
-/// energy are skipped defensively.
-pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
-    let buckets = generate_buckets(config.workload, config.plan, config.seed);
+/// energy are skipped and counted in [`RunStats`]. Buckets that end up
+/// with no surviving sets are omitted from [`ExperimentResult::buckets`].
+pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> ExperimentResult {
+    let run_start = Instant::now();
+    let buckets = generate_buckets_jobs(config.workload, config.plan, config.seed, jobs);
     let mut policies = config.policies.clone();
     if !policies.contains(&PolicyKind::Static) {
         policies.push(PolicyKind::Static);
     }
-    let mut results = Vec::with_capacity(buckets.len());
-    let mut set_counter = 0u64;
-    for bucket in &buckets {
-        let mut sums: BTreeMap<PolicyKind, f64> = BTreeMap::new();
-        let mut abs_sums: BTreeMap<PolicyKind, f64> = BTreeMap::new();
-        let mut violations: BTreeMap<PolicyKind, u64> = BTreeMap::new();
-        let mut counted = 0usize;
+    // Flatten (bucket, set) pairs in bucket order. A set's position in
+    // this list equals the running counter the serial loop used, so the
+    // per-set fault plans are unchanged.
+    let mut work: Vec<(usize, u64, &TaskSet)> = Vec::new();
+    for (bucket_index, bucket) in buckets.iter().enumerate() {
         for ts in &bucket.sets {
-            let faults = config.fault_plan(set_counter);
-            set_counter += 1;
-            if let Some(row) = simulate_set(ts, &policies, config, faults) {
-                counted += 1;
+            work.push((bucket_index, work.len() as u64, ts));
+        }
+    }
+    let outcomes = par::map_indexed(jobs, &work, |_, &(bucket_index, set_index, ts)| {
+        let set_start = Instant::now();
+        let outcome = simulate_set(ts, &policies, config, config.fault_plan(set_index));
+        let elapsed_ms = set_start.elapsed().as_secs_f64() * 1e3;
+        (bucket_index, outcome, elapsed_ms)
+    });
+
+    // Fold in work order — the summation order (and therefore every
+    // float result) matches the serial loop exactly.
+    let mut accs: Vec<BucketAccumulator> = Vec::with_capacity(buckets.len());
+    accs.resize_with(buckets.len(), BucketAccumulator::default);
+    for (bucket_index, outcome, elapsed_ms) in outcomes {
+        let acc = &mut accs[bucket_index];
+        acc.wall_ms += elapsed_ms;
+        match outcome {
+            SetOutcome::Row(row) => {
+                acc.counted += 1;
                 for (kind, (norm, abs, viol)) in row {
-                    *sums.entry(kind).or_default() += norm;
-                    *abs_sums.entry(kind).or_default() += abs;
-                    *violations.entry(kind).or_default() += viol;
+                    *acc.sums.entry(kind).or_default() += norm;
+                    *acc.abs_sums.entry(kind).or_default() += abs;
+                    *acc.violations.entry(kind).or_default() += viol;
                 }
             }
+            SetOutcome::BuildError(message) => {
+                acc.build_errors += 1;
+                acc.first_build_error.get_or_insert(message);
+            }
+            SetOutcome::ZeroReference => acc.zero_references += 1,
         }
-        let normalized = sums
+    }
+
+    let mut results = Vec::with_capacity(buckets.len());
+    let mut stats = RunStats {
+        jobs: par::effective_jobs(jobs),
+        wall_ms: 0.0,
+        sims_per_second: 0.0,
+        buckets_planned: buckets.len(),
+        empty_buckets: 0,
+        sets_simulated: 0,
+        sets_generated: 0,
+        skipped_build_errors: 0,
+        skipped_zero_reference: 0,
+        violations: BTreeMap::new(),
+        buckets: Vec::with_capacity(buckets.len()),
+    };
+    for (bucket, acc) in buckets.iter().zip(accs) {
+        stats.sets_simulated += acc.counted as u64;
+        stats.sets_generated += bucket.generated;
+        stats.skipped_build_errors += acc.build_errors;
+        stats.skipped_zero_reference += acc.zero_references;
+        for (&kind, &count) in &acc.violations {
+            *stats.violations.entry(kind).or_default() += count;
+        }
+        stats.buckets.push(BucketStats {
+            midpoint: bucket.midpoint(),
+            wall_ms: acc.wall_ms,
+            sets_simulated: acc.counted,
+            sets_generated: bucket.generated,
+            skipped_build_errors: acc.build_errors,
+            skipped_zero_reference: acc.zero_references,
+            first_build_error: acc.first_build_error,
+        });
+        if acc.counted == 0 {
+            // No surviving set: omitting the bucket beats publishing a
+            // row of empty maps that panics every `normalized[&kind]`
+            // consumer downstream.
+            stats.empty_buckets += 1;
+            continue;
+        }
+        let normalized = acc
+            .sums
             .iter()
-            .map(|(&k, &v)| (k, v / counted.max(1) as f64))
+            .map(|(&k, &v)| (k, v / acc.counted as f64))
             .collect();
-        let absolute = abs_sums
+        let absolute = acc
+            .abs_sums
             .iter()
-            .map(|(&k, &v)| (k, v / counted.max(1) as f64))
+            .map(|(&k, &v)| (k, v / acc.counted as f64))
             .collect();
         results.push(BucketResult {
             midpoint: bucket.midpoint(),
-            sets: counted,
+            sets: acc.counted,
             generated: bucket.generated,
             normalized,
             absolute,
-            violations,
+            violations: acc.violations,
         });
     }
+    stats.wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
+    let total_sims = stats.sets_simulated as f64 * policies.len() as f64;
+    stats.sims_per_second = if stats.wall_ms > 0.0 {
+        total_sims / (stats.wall_ms / 1e3)
+    } else {
+        0.0
+    };
     ExperimentResult {
         config: config.clone(),
         buckets: results,
+        stats,
     }
 }
 
@@ -269,18 +472,23 @@ pub struct Spread {
 }
 
 impl Spread {
-    fn of(values: &[f64]) -> Spread {
-        let n = values.len().max(1) as f64;
+    /// Mean and sample standard deviation of `values`; `None` for an
+    /// empty slice (previously this fabricated a `mean` of `0.0`).
+    pub fn of(values: &[f64]) -> Option<Spread> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = if values.len() > 1 {
             values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
         } else {
             0.0
         };
-        Spread {
+        Some(Spread {
             mean,
             std: var.sqrt(),
-        }
+        })
     }
 }
 
@@ -294,16 +502,32 @@ pub struct ReplicatedResult {
     pub config: ExperimentConfig,
     /// Replications run.
     pub replications: u32,
-    /// Bucket midpoints (same order as the rows).
+    /// Bucket midpoints (same order as the rows). A midpoint appears as
+    /// soon as **any** replication produced data for it.
     pub midpoints: Vec<f64>,
-    /// `spreads[bucket][policy]`.
+    /// `spreads[bucket][policy]`. A policy is absent from a bucket's map
+    /// when no replication produced data for that pair.
     pub spreads: Vec<BTreeMap<PolicyKind, Spread>>,
     /// Total violations across every run of every replication.
     pub total_violations: u64,
+    /// Combined observability counters of all replications.
+    pub stats: RunStats,
 }
 
-/// Runs `replications` independent instances of the experiment and
-/// aggregates the per-bucket normalized energies.
+/// Runs `replications` independent instances of the experiment with the
+/// default worker count; see [`run_replicated_jobs`].
+pub fn run_replicated(config: &ExperimentConfig, replications: u32) -> ReplicatedResult {
+    run_replicated_jobs(config, replications, 0)
+}
+
+/// Runs `replications` independent instances of the experiment (each
+/// regenerates workloads and fault plans from a distinct master seed,
+/// fanned across up to `jobs` workers) and aggregates the per-bucket
+/// normalized energies.
+///
+/// Buckets are matched **by midpoint**, not position, so a replication
+/// whose low-utilization bucket came up empty cannot shift later
+/// buckets' statistics onto the wrong row.
 ///
 /// # Panics
 ///
@@ -321,59 +545,112 @@ pub struct ReplicatedResult {
 /// cfg.horizon = Time::from_ms(200);
 /// let result = run_replicated(&cfg, 3);
 /// assert_eq!(result.replications, 3);
-/// let sel = result.spreads[0][&PolicyKind::Selective];
-/// assert!(sel.mean > 0.0 && sel.std >= 0.0);
+/// for bucket in &result.spreads {
+///     if let Some(sel) = bucket.get(&PolicyKind::Selective) {
+///         assert!(sel.mean > 0.0 && sel.std >= 0.0);
+///     }
+/// }
 /// ```
-pub fn run_replicated(config: &ExperimentConfig, replications: u32) -> ReplicatedResult {
+pub fn run_replicated_jobs(
+    config: &ExperimentConfig,
+    replications: u32,
+    jobs: usize,
+) -> ReplicatedResult {
     assert!(replications >= 1, "need at least one replication");
-    let mut per_bucket: Vec<BTreeMap<PolicyKind, Vec<f64>>> = Vec::new();
-    let mut midpoints: Vec<f64> = Vec::new();
+    let configs: Vec<ExperimentConfig> = (0..replications)
+        .map(|r| {
+            let mut cfg = config.clone();
+            cfg.seed = config
+                .seed
+                .wrapping_add(u64::from(r).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            cfg
+        })
+        .collect();
+    // Fan replications across the pool, splitting the budget so the
+    // nested per-set fan-out doesn't oversubscribe.
+    let inner_jobs = (par::effective_jobs(jobs) / replications as usize).max(1);
+    let results = par::map_indexed(jobs, &configs, |_, cfg| {
+        run_experiment_jobs(cfg, inner_jobs)
+    });
+
+    // Key buckets by midpoint bits (midpoints are positive, so the bit
+    // order equals the numeric order in the BTreeMap).
+    let mut per_midpoint: BTreeMap<u64, BTreeMap<PolicyKind, Vec<f64>>> = BTreeMap::new();
     let mut total_violations = 0;
-    for r in 0..replications {
-        let mut cfg = config.clone();
-        cfg.seed = config
-            .seed
-            .wrapping_add(u64::from(r).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let result = run_experiment(&cfg);
+    let mut stats = RunStats {
+        jobs: par::effective_jobs(jobs),
+        wall_ms: 0.0,
+        sims_per_second: 0.0,
+        buckets_planned: 0,
+        empty_buckets: 0,
+        sets_simulated: 0,
+        sets_generated: 0,
+        skipped_build_errors: 0,
+        skipped_zero_reference: 0,
+        violations: BTreeMap::new(),
+        buckets: Vec::new(),
+    };
+    for result in &results {
         total_violations += result.total_violations();
-        if midpoints.is_empty() {
-            midpoints = result.buckets.iter().map(|b| b.midpoint).collect();
-            per_bucket = vec![BTreeMap::new(); midpoints.len()];
-        }
-        for (i, bucket) in result.buckets.iter().enumerate() {
-            if bucket.sets == 0 {
-                continue;
-            }
+        stats.absorb(&result.stats);
+        for bucket in &result.buckets {
+            let slot = per_midpoint.entry(bucket.midpoint.to_bits()).or_default();
             for (&kind, &value) in &bucket.normalized {
-                per_bucket[i].entry(kind).or_default().push(value);
+                slot.entry(kind).or_default().push(value);
             }
         }
     }
-    let spreads = per_bucket
-        .into_iter()
-        .map(|m| {
-            m.into_iter()
-                .map(|(k, values)| (k, Spread::of(&values)))
-                .collect()
-        })
-        .collect();
+    let mut policy_count = config.policies.len();
+    if !config.policies.contains(&PolicyKind::Static) {
+        policy_count += 1;
+    }
+    stats.sims_per_second = if stats.wall_ms > 0.0 {
+        stats.sets_simulated as f64 * policy_count as f64 / (stats.wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    let mut midpoints = Vec::with_capacity(per_midpoint.len());
+    let mut spreads = Vec::with_capacity(per_midpoint.len());
+    for (bits, policies) in per_midpoint {
+        midpoints.push(f64::from_bits(bits));
+        spreads.push(
+            policies
+                .into_iter()
+                .filter_map(|(k, values)| Spread::of(&values).map(|s| (k, s)))
+                .collect(),
+        );
+    }
     ReplicatedResult {
         config: config.clone(),
         replications,
         midpoints,
         spreads,
         total_violations,
+        stats,
     }
 }
 
-/// Simulates all policies on one set; returns per-policy
-/// (normalized, absolute, violations).
+/// What happened to one task set's simulation.
+enum SetOutcome {
+    /// Per-policy (normalized, absolute, violations).
+    Row(BTreeMap<PolicyKind, (f64, f64, u64)>),
+    /// A policy could not be built for the set; the whole set is dropped
+    /// (comparing the remaining policies on it would be unfair) but the
+    /// drop is counted and its reason surfaced instead of silently
+    /// discarded.
+    BuildError(String),
+    /// The `MKSS_ST` reference consumed no energy, so normalization is
+    /// undefined.
+    ZeroReference,
+}
+
+/// Simulates all policies on one set.
 fn simulate_set(
     ts: &TaskSet,
     policies: &[PolicyKind],
     config: &ExperimentConfig,
     faults: FaultConfig,
-) -> Option<BTreeMap<PolicyKind, (f64, f64, u64)>> {
+) -> SetOutcome {
     let sim_config = SimConfig {
         horizon: config.horizon,
         power: config.power,
@@ -382,7 +659,10 @@ fn simulate_set(
     };
     let mut energies: BTreeMap<PolicyKind, (f64, u64)> = BTreeMap::new();
     for &kind in policies {
-        let mut policy = kind.build(ts).ok()?;
+        let mut policy = match kind.build(ts) {
+            Ok(policy) => policy,
+            Err(error) => return SetOutcome::BuildError(format!("{kind}: {error}")),
+        };
         let report = simulate(ts, policy.as_mut(), &sim_config);
         energies.insert(
             kind,
@@ -392,11 +672,13 @@ fn simulate_set(
             ),
         );
     }
-    let (reference, _) = *energies.get(&PolicyKind::Static)?;
+    let Some(&(reference, _)) = energies.get(&PolicyKind::Static) else {
+        return SetOutcome::BuildError("reference MKSS_ST was not simulated".to_string());
+    };
     if reference <= 0.0 {
-        return None;
+        return SetOutcome::ZeroReference;
     }
-    Some(
+    SetOutcome::Row(
         energies
             .into_iter()
             .map(|(k, (e, v))| (k, (e / reference, e, v)))
@@ -435,7 +717,10 @@ mod tests {
         assert_eq!(a.transient_rate_per_ms, 0.0);
         let c = quick_config(Scenario::Combined).fault_plan(3);
         assert!(c.transient_rate_per_ms > 0.0);
-        assert!(quick_config(Scenario::NoFault).fault_plan(3).permanent.is_none());
+        assert!(quick_config(Scenario::NoFault)
+            .fault_plan(3)
+            .permanent
+            .is_none());
     }
 
     #[test]
@@ -449,7 +734,11 @@ mod tests {
             let sel = bucket.normalized[&PolicyKind::Selective];
             assert!((st - 1.0).abs() < 1e-9);
             assert!(dp <= st + 1e-9, "DP {dp} vs ST {st} at {}", bucket.midpoint);
-            assert!(sel <= st + 1e-9, "selective {sel} vs ST at {}", bucket.midpoint);
+            assert!(
+                sel <= st + 1e-9,
+                "selective {sel} vs ST at {}",
+                bucket.midpoint
+            );
             // Selective and DP track each other within a band; see
             // EXPERIMENTS.md for the measured crossover.
             assert!(
@@ -470,5 +759,108 @@ mod tests {
     fn combined_scenario_keeps_guarantee() {
         let result = run_experiment(&quick_config(Scenario::Combined));
         assert_eq!(result.total_violations(), 0);
+    }
+
+    #[test]
+    fn parallel_runs_are_bit_identical_to_serial() {
+        let mut cfg = quick_config(Scenario::Combined);
+        cfg.plan.to = 0.5;
+        cfg.horizon = Time::from_ms(200);
+        let mut serial = run_experiment_jobs(&cfg, 1);
+        serial.stats.strip_timing();
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        for jobs in [0, 2, 5] {
+            let mut parallel = run_experiment_jobs(&cfg, jobs);
+            parallel.stats.strip_timing();
+            let parallel_json = serde_json::to_string(&parallel).unwrap();
+            assert_eq!(
+                parallel_json, serial_json,
+                "jobs={jobs} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn unfillable_bucket_is_omitted_not_panicking() {
+        let mut cfg = quick_config(Scenario::NoFault);
+        cfg.plan.from = 0.2;
+        cfg.plan.to = 0.4;
+        cfg.plan.max_generated = 0; // the generator can never fill a bucket
+        let result = run_experiment(&cfg);
+        assert!(result.buckets.is_empty());
+        assert_eq!(result.stats.buckets_planned, 2);
+        assert_eq!(result.stats.empty_buckets, 2);
+        assert_eq!(result.stats.sets_simulated, 0);
+        assert!(result
+            .max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority)
+            .is_none());
+        assert!(result.mean_normalized(PolicyKind::Selective).is_nan());
+    }
+
+    #[test]
+    fn replicated_handles_all_empty_buckets() {
+        let mut cfg = quick_config(Scenario::NoFault);
+        cfg.plan.max_generated = 0;
+        let result = run_replicated(&cfg, 2);
+        assert!(result.midpoints.is_empty());
+        assert!(result.spreads.is_empty());
+        assert_eq!(result.total_violations, 0);
+        assert_eq!(result.stats.empty_buckets, result.stats.buckets_planned);
+    }
+
+    #[test]
+    fn run_stats_counters_are_consistent() {
+        let result = run_experiment(&quick_config(Scenario::NoFault));
+        let stats = &result.stats;
+        assert_eq!(stats.buckets_planned, stats.buckets.len());
+        assert_eq!(
+            stats.buckets_planned - stats.empty_buckets,
+            result.buckets.len()
+        );
+        assert_eq!(
+            stats.sets_simulated,
+            result.buckets.iter().map(|b| b.sets as u64).sum::<u64>()
+        );
+        assert_eq!(
+            stats.sets_generated,
+            stats.buckets.iter().map(|b| b.sets_generated).sum::<u64>()
+        );
+        assert_eq!(
+            stats.violations.values().sum::<u64>(),
+            result.total_violations()
+        );
+        assert!(stats.wall_ms > 0.0);
+        assert!(stats.summary().contains("sets simulated"));
+    }
+
+    #[test]
+    fn build_failures_are_reported_not_silently_dropped() {
+        use mkss_core::task::Task;
+        // τ2's response time (8 + interference from τ1's 4 ms mandatory
+        // jobs) exceeds its 10 ms deadline, so no policy can be built.
+        let ts = TaskSet::new(vec![
+            Task::from_ms(5, 5, 4, 3, 4).unwrap(),
+            Task::from_ms(10, 10, 8, 3, 4).unwrap(),
+        ])
+        .unwrap();
+        let cfg = quick_config(Scenario::NoFault);
+        let outcome = simulate_set(&ts, &[PolicyKind::Selective], &cfg, FaultConfig::none());
+        match outcome {
+            SetOutcome::BuildError(message) => {
+                assert!(
+                    message.contains("selective"),
+                    "unexpected message: {message}"
+                );
+            }
+            _ => panic!("expected a build error for an unschedulable set"),
+        }
+    }
+
+    #[test]
+    fn spread_of_empty_is_none() {
+        assert!(Spread::of(&[]).is_none());
+        let s = Spread::of(&[2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
     }
 }

@@ -41,11 +41,7 @@ const MARGIN_BOTTOM: f64 = 44.0;
 /// Stable slot for a policy: its position in [`PolicyKind::ALL`], so the
 /// same policy is always the same hue across charts and filters.
 fn slot_of(kind: PolicyKind) -> usize {
-    PolicyKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .unwrap_or(0)
-        % SLOTS.len()
+    PolicyKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) % SLOTS.len()
 }
 
 struct Series {
@@ -328,6 +324,11 @@ pub fn render_report(results: &[ExperimentResult]) -> String {
         body.push_str(&legend(result));
         body.push_str(&chart_svg(result, i));
         body.push_str(&data_table(result));
+        let _ = write!(
+            body,
+            r#"<p class="subtitle">run: {}</p>"#,
+            result.stats.summary()
+        );
     }
     body.push_str(r#"<div class="tooltip" id="tooltip"></div>"#);
 
@@ -389,7 +390,7 @@ mod tests {
         assert_eq!(html.matches("<path class=\"line").count(), 3);
         assert!(html.matches("circle class=\"dot").count() >= 6);
         assert_eq!(html.matches("direct-label").count(), 3 + 1); // 3 uses + css
-        // Legend, table view (relief rule), tooltip, dark mode.
+                                                                 // Legend, table view (relief rule), tooltip, dark mode.
         assert!(html.contains("legend-item"));
         assert!(html.contains("<table>"));
         assert!(html.contains("prefers-color-scheme: dark"));

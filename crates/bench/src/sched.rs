@@ -17,6 +17,7 @@ use mkss_analysis::exact::exact_sweep;
 use mkss_analysis::rotation::{find_rotation, RotationConfig};
 use mkss_analysis::rta::is_schedulable_r_pattern;
 use mkss_core::mk::Pattern;
+use mkss_core::par;
 use mkss_workload::{Generator, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
@@ -56,7 +57,7 @@ impl Default for SchedConfig {
             width: 0.1,
             samples_per_bucket: 100,
             rotation: RotationConfig::default(),
-            seed: 0x5c4e_d0,
+            seed: 0x005c_4ed0,
         }
     }
 }
@@ -76,13 +77,25 @@ pub struct SchedRow {
     pub with_rotation: u32,
 }
 
-/// Runs the experiment; one row per bucket.
+/// Runs the experiment with the default worker count; see
+/// [`schedulability_experiment_jobs`].
 pub fn schedulability_experiment(config: &SchedConfig) -> Vec<SchedRow> {
-    let mut rows = Vec::new();
+    schedulability_experiment_jobs(config, 0)
+}
+
+/// Runs the experiment; one row per bucket, fanned across up to `jobs`
+/// worker threads (`0` = available parallelism). Each bucket samples
+/// from its own RNG stream (seeded from the master seed and the bucket
+/// index), so the rows are identical for every `jobs` value.
+pub fn schedulability_experiment_jobs(config: &SchedConfig, jobs: usize) -> Vec<SchedRow> {
+    let mut bounds: Vec<(u64, f64, f64)> = Vec::new();
     let mut lo = config.from;
-    let mut bucket_index = 0u64;
     while lo + config.width <= config.to + 1e-9 {
         let hi = lo + config.width;
+        bounds.push((bounds.len() as u64, lo, hi));
+        lo = hi;
+    }
+    par::map_indexed(jobs, &bounds, |_, &(bucket_index, lo, hi)| {
         let mut generator = Generator::new(
             config.workload,
             config.seed.wrapping_add(bucket_index * 0x9e37_79b9),
@@ -111,11 +124,8 @@ pub fn schedulability_experiment(config: &SchedConfig) -> Vec<SchedRow> {
             row.with_exact += u32::from(exact_ok);
             row.with_rotation += u32::from(rot_ok);
         }
-        rows.push(row);
-        lo = hi;
-        bucket_index += 1;
-    }
-    rows
+        row
+    })
 }
 
 /// Renders the rows as an aligned text table.
@@ -167,6 +177,21 @@ mod tests {
         }
         let text = render(&rows);
         assert!(text.contains("+rotation"));
+    }
+
+    #[test]
+    fn parallel_rows_match_serial() {
+        let config = SchedConfig {
+            samples_per_bucket: 8,
+            from: 0.5,
+            to: 0.8,
+            ..SchedConfig::default()
+        };
+        let serial = schedulability_experiment_jobs(&config, 1);
+        for jobs in [0, 3] {
+            let parallel = schedulability_experiment_jobs(&config, jobs);
+            assert_eq!(render(&parallel), render(&serial), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -50,11 +50,14 @@ pub fn render(result: &ExperimentResult) -> String {
 
     // Headline numbers in the paper's phrasing.
     if policies.contains(&PolicyKind::Selective) && policies.contains(&PolicyKind::DualPriority) {
-        let _ = writeln!(
-            out,
-            "max energy reduction of selective over dp: {:.1}%",
-            result.max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority)
-        );
+        match result.max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority) {
+            Some(pct) => {
+                let _ = writeln!(out, "max energy reduction of selective over dp: {pct:.1}%");
+            }
+            None => {
+                let _ = writeln!(out, "max energy reduction of selective over dp: n/a");
+            }
+        }
     }
     let _ = writeln!(
         out,

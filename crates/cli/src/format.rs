@@ -44,7 +44,9 @@ pub struct TaskSetSpec {
 
 fn ms_to_time(ms: f64, what: &str) -> Result<Time, CliError> {
     if !ms.is_finite() || ms < 0.0 {
-        return Err(CliError::Input(format!("{what} must be a finite non-negative number, got {ms}")));
+        return Err(CliError::Input(format!(
+            "{what} must be a finite non-negative number, got {ms}"
+        )));
     }
     Ok(Time::from_ticks((ms * TICKS_PER_MS as f64).round() as u64))
 }
@@ -94,7 +96,8 @@ impl TaskSetSpec {
     ///
     /// Returns [`CliError::Input`] on malformed JSON.
     pub fn parse(json: &str) -> Result<Self, CliError> {
-        serde_json::from_str(json).map_err(|e| CliError::Input(format!("invalid task set JSON: {e}")))
+        serde_json::from_str(json)
+            .map_err(|e| CliError::Input(format!("invalid task set JSON: {e}")))
     }
 
     /// Serializes to pretty JSON.
@@ -122,7 +125,11 @@ mod tests {
         let t1 = ts.task(mkss_core::task::TaskId(0));
         assert_eq!(t1.deadline(), Time::from_ms(4));
         let t2 = ts.task(mkss_core::task::TaskId(1));
-        assert_eq!(t2.deadline(), Time::from_ms(10), "deadline defaults to period");
+        assert_eq!(
+            t2.deadline(),
+            Time::from_ms(10),
+            "deadline defaults to period"
+        );
     }
 
     #[test]
@@ -132,7 +139,10 @@ mod tests {
         )
         .unwrap();
         let ts = spec.to_task_set().unwrap();
-        assert_eq!(ts.task(mkss_core::task::TaskId(0)).deadline(), Time::from_us(2_500));
+        assert_eq!(
+            ts.task(mkss_core::task::TaskId(0)).deadline(),
+            Time::from_us(2_500)
+        );
     }
 
     #[test]
@@ -148,7 +158,10 @@ mod tests {
     fn invalid_inputs_are_reported() {
         assert!(TaskSetSpec::parse("{").is_err());
         let bad_mk = r#"{ "tasks": [ { "period_ms": 5, "wcet_ms": 3, "m": 4, "k": 4 } ] }"#;
-        let err = TaskSetSpec::parse(bad_mk).unwrap().to_task_set().unwrap_err();
+        let err = TaskSetSpec::parse(bad_mk)
+            .unwrap()
+            .to_task_set()
+            .unwrap_err();
         assert!(err.to_string().contains("task 1"));
         let neg = r#"{ "tasks": [ { "period_ms": -5, "wcet_ms": 3, "m": 1, "k": 4 } ] }"#;
         assert!(TaskSetSpec::parse(neg).unwrap().to_task_set().is_err());

@@ -81,7 +81,7 @@ commands:
   simulate <taskset.json> [--policy P] [--horizon-ms N] [--seed S]
            [--permanent primary@MS|spare@MS] [--transient RATE_PER_MS]
            [--gantt] [--vcd FILE] [--active-only]
-  compare  <taskset.json> [--horizon-ms N]     run every policy, print one row each
+  compare  <taskset.json> [--horizon-ms N] [--jobs N]  run every policy, print one row each
   generate [--util U] [--seed S] [--tasks MIN..MAX]  emit a schedulable set as JSON
   policies                                     list available policies
 ";
@@ -103,7 +103,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(&args[1..]),
         "policies" => Ok(cmd_policies()),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
-        other => Err(CliError::Input(format!("unknown command '{other}'\n{USAGE}"))),
+        other => Err(CliError::Input(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     }
 }
 
@@ -122,7 +124,9 @@ fn cmd_policies() -> String {
 
 fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let [path] = args else {
-        return Err(CliError::Input("analyze expects exactly one task-set file".into()));
+        return Err(CliError::Input(
+            "analyze expects exactly one task-set file".into(),
+        ));
     };
     let ts = load_task_set(path)?;
     let mut out = String::new();
@@ -181,11 +185,11 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
         };
         match flag.as_str() {
             "--policy" => {
-                policy_kind = value()?
-                    .parse()
-                    .map_err(|e: mkss_policies::registry::ParsePolicyKindError| {
+                policy_kind = value()?.parse().map_err(
+                    |e: mkss_policies::registry::ParsePolicyKindError| {
                         CliError::Input(e.to_string())
-                    })?
+                    },
+                )?
             }
             "--horizon-ms" => {
                 horizon = Time::from_ms(
@@ -206,15 +210,13 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
             }
             "--permanent" => {
                 let v = value()?;
-                let (proc, at) = v
-                    .split_once('@')
-                    .ok_or_else(|| CliError::Input("--permanent expects primary@MS or spare@MS".into()))?;
+                let (proc, at) = v.split_once('@').ok_or_else(|| {
+                    CliError::Input("--permanent expects primary@MS or spare@MS".into())
+                })?;
                 let proc = match proc {
                     "primary" => ProcId::PRIMARY,
                     "spare" => ProcId::SPARE,
-                    other => {
-                        return Err(CliError::Input(format!("unknown processor '{other}'")))
-                    }
+                    other => return Err(CliError::Input(format!("unknown processor '{other}'"))),
                 };
                 let ms: u64 = at
                     .parse()
@@ -272,7 +274,10 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     ));
     out.push_str(&format!("(m,k) assured: {}\n", report.mk_assured()));
     for v in &report.violations {
-        out.push_str(&format!("  violation: task {} at job {}\n", v.task, v.job_index));
+        out.push_str(&format!(
+            "  violation: task {} at job {}\n",
+            v.task, v.job_index
+        ));
     }
     if let Some(trace) = &report.trace {
         if gantt {
@@ -292,17 +297,25 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
     };
     let ts = load_task_set(path)?;
     let mut horizon = Time::from_ms(1_000);
+    let mut jobs = 0usize;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| CliError::Input(format!("flag {flag} expects a value")))
+        };
         match flag.as_str() {
             "--horizon-ms" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| CliError::Input("--horizon-ms expects a value".into()))?;
                 horizon = Time::from_ms(
-                    v.parse()
+                    value()?
+                        .parse()
                         .map_err(|e| CliError::Input(format!("--horizon-ms: {e}")))?,
                 );
+            }
+            "--jobs" => {
+                jobs = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--jobs: {e}")))?;
             }
             other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
         }
@@ -313,6 +326,23 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         faults: FaultConfig::none(),
         record_trace: false,
     };
+    // Every policy simulates the same set independently — fan them out;
+    // rows are then rendered in registry order, so the output (including
+    // the "first applicable policy" normalization reference) is identical
+    // to the serial loop.
+    let rows = mkss_core::par::map_indexed(jobs, &PolicyKind::ALL, |_, &kind| {
+        let Ok(mut policy) = kind.build(&ts) else {
+            return None;
+        };
+        let report = simulate(&ts, policy.as_mut(), &config);
+        Some((
+            report.total_energy().units(),
+            report.active_energy().units(),
+            report.stats.met,
+            report.stats.missed,
+            report.mk_assured(),
+        ))
+    });
     let mut out = String::new();
     out.push_str(&format!(
         "{:<20} {:>12} {:>12} {:>7} {:>7} {:>10}
@@ -320,25 +350,30 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         "policy", "total", "active", "met", "missed", "(m,k) ok"
     ));
     let mut reference: Option<f64> = None;
-    for kind in PolicyKind::ALL {
-        let Ok(mut policy) = kind.build(&ts) else {
-            out.push_str(&format!("{:<20} (not applicable to this set)
-", kind.id()));
+    for (kind, row) in PolicyKind::ALL.into_iter().zip(rows) {
+        let Some((total, active, met, missed, mk_ok)) = row else {
+            out.push_str(&format!(
+                "{:<20} (not applicable to this set)
+",
+                kind.id()
+            ));
             continue;
         };
-        let report = simulate(&ts, policy.as_mut(), &config);
-        let total = report.total_energy().units();
         let reference = *reference.get_or_insert(total);
         out.push_str(&format!(
             "{:<20} {:>11.3}u {:>11.3}u {:>7} {:>7} {:>10} ({:.3}x)
 ",
             kind.id(),
             total,
-            report.active_energy().units(),
-            report.stats.met,
-            report.stats.missed,
-            report.mk_assured(),
-            if reference > 0.0 { total / reference } else { f64::NAN },
+            active,
+            met,
+            missed,
+            mk_ok,
+            if reference > 0.0 {
+                total / reference
+            } else {
+                f64::NAN
+            },
         ));
     }
     Ok(out)
@@ -372,15 +407,19 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
                     .split_once("..")
                     .ok_or_else(|| CliError::Input("--tasks expects MIN..MAX".into()))?;
                 tasks = (
-                    lo.parse().map_err(|e| CliError::Input(format!("--tasks: {e}")))?,
-                    hi.parse().map_err(|e| CliError::Input(format!("--tasks: {e}")))?,
+                    lo.parse()
+                        .map_err(|e| CliError::Input(format!("--tasks: {e}")))?,
+                    hi.parse()
+                        .map_err(|e| CliError::Input(format!("--tasks: {e}")))?,
                 );
             }
             other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
         }
     }
     if !(0.0..=1.0).contains(&util) || util == 0.0 {
-        return Err(CliError::Input(format!("--util must be in (0, 1], got {util}")));
+        return Err(CliError::Input(format!(
+            "--util must be in (0, 1], got {util}"
+        )));
     }
     let config = WorkloadConfig {
         tasks_min: tasks.0,
@@ -435,10 +474,8 @@ mod tests {
 
         pub fn write_temp(body: &str) -> TempPath {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir().join(format!(
-                "mkss-cli-test-{}-{n}.json",
-                std::process::id()
-            ));
+            let path =
+                std::env::temp_dir().join(format!("mkss-cli-test-{}-{n}.json", std::process::id()));
             std::fs::write(&path, body).unwrap();
             TempPath(path)
         }

@@ -293,7 +293,7 @@ mod tests {
         let mut best = 0;
         'f: for f in 1..=(mk_c.k() - mk_c.m()) {
             let mut s = seq.clone();
-            s.extend(std::iter::repeat(false).take(f as usize));
+            s.extend(std::iter::repeat_n(false, f as usize));
             for end in hist_len..s.len() {
                 let window = &s[end + 1 - k..=end];
                 if window.iter().filter(|&&b| b).count() < m {

@@ -50,6 +50,7 @@ pub mod error;
 pub mod history;
 pub mod job;
 pub mod mk;
+pub mod par;
 pub mod task;
 pub mod time;
 

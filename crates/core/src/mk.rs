@@ -185,9 +185,9 @@ impl Pattern {
                 let rem = count % k;
                 full * m + rem.min(m)
             }
-            Pattern::EvenlyDistributed => (1..=count)
-                .filter(|&j| self.is_mandatory(mk, j))
-                .count() as u64,
+            Pattern::EvenlyDistributed => {
+                (1..=count).filter(|&j| self.is_mandatory(mk, j)).count() as u64
+            }
         }
     }
 }
@@ -408,9 +408,7 @@ mod tests {
         let flags: Vec<bool> = (1..=12).map(|j| p.is_mandatory(mk, j)).collect();
         assert_eq!(
             flags,
-            [
-                true, true, false, false, true, true, false, false, true, true, false, false
-            ]
+            [true, true, false, false, true, true, false, false, true, true, false, false]
         );
     }
 
@@ -438,10 +436,7 @@ mod tests {
         let p = Pattern::EvenlyDistributed;
         let flags: Vec<bool> = (1..=8).map(|j| p.is_mandatory(mk, j)).collect();
         // E-pattern for (2,4): mandatory at 0-based n = 0, 2 within each window.
-        assert_eq!(
-            flags,
-            [true, false, true, false, true, false, true, false]
-        );
+        assert_eq!(flags, [true, false, true, false, true, false, true, false]);
     }
 
     #[test]
@@ -545,7 +540,10 @@ mod tests {
                     let count = (start..start + u64::from(k))
                         .filter(|&j| rot.is_mandatory(mk, j))
                         .count() as u32;
-                    assert!(count >= m, "offset {offset} window at {start}: {count} < {m}");
+                    assert!(
+                        count >= m,
+                        "offset {offset} window at {start}: {count} < {m}"
+                    );
                 }
             }
         }

@@ -270,10 +270,7 @@ impl TaskSet {
 
     /// Iterates over `(TaskId, &Task)` in priority order.
     pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
-        self.tasks
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TaskId(i), t))
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
     }
 
     /// All task ids in priority order.
@@ -477,10 +474,7 @@ mod tests {
     fn display_forms() {
         let ts = fig1_set();
         assert_eq!(TaskId(0).to_string(), "τ1");
-        assert_eq!(
-            ts.task(TaskId(0)).to_string(),
-            "(5ms, 4ms, 3ms, 2, 4)"
-        );
+        assert_eq!(ts.task(TaskId(0)).to_string(), "(5ms, 4ms, 3ms, 2, 4)");
         let s = ts.to_string();
         assert!(s.contains("τ1"));
         assert!(s.contains("τ2"));

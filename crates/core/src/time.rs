@@ -338,7 +338,10 @@ mod tests {
 
     #[test]
     fn saturating_and_checked() {
-        assert_eq!(Time::from_ms(1).saturating_sub(Time::from_ms(2)), Time::ZERO);
+        assert_eq!(
+            Time::from_ms(1).saturating_sub(Time::from_ms(2)),
+            Time::ZERO
+        );
         assert_eq!(
             Time::from_ms(2).saturating_sub(Time::from_ms(1)),
             Time::from_ms(1)

@@ -244,7 +244,7 @@ impl Policy for MkssDp {
         }
         let main_proc = match self.placement {
             MainPlacement::PreferenceOriented => {
-                if ctx.task.0 % 2 == 0 {
+                if ctx.task.0.is_multiple_of(2) {
                     ProcId::PRIMARY
                 } else {
                     ProcId::SPARE

@@ -320,14 +320,37 @@ impl Default for BucketPlan {
 /// }
 /// ```
 pub fn generate_buckets(config: WorkloadConfig, plan: BucketPlan, seed: u64) -> Vec<Bucket> {
-    let mut buckets = Vec::new();
+    generate_buckets_jobs(config, plan, seed, 1)
+}
+
+/// The interval bounds `[lo, hi)` of every bucket in `plan`, in order.
+#[must_use]
+pub fn bucket_bounds(plan: BucketPlan) -> Vec<(f64, f64)> {
+    let mut bounds = Vec::new();
     let mut lo = plan.from;
-    let mut bucket_index = 0u64;
     while lo + plan.width <= plan.to + 1e-9 {
-        let hi = lo + plan.width;
+        bounds.push((lo, lo + plan.width));
+        lo += plan.width;
+    }
+    bounds
+}
+
+/// [`generate_buckets`] with the buckets filled in parallel by up to
+/// `jobs` worker threads (`0` = available parallelism). Each bucket draws
+/// from its own seed-derived RNG stream, so the output is bit-identical
+/// to the serial path for any worker count.
+pub fn generate_buckets_jobs(
+    config: WorkloadConfig,
+    plan: BucketPlan,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Bucket> {
+    let bounds = bucket_bounds(plan);
+    mkss_core::par::map_indexed(jobs, &bounds, |bucket_index, &(lo, hi)| {
         // Independent stream per bucket so buckets are stable regardless
         // of how many attempts earlier buckets consumed.
-        let mut generator = Generator::new(config, seed.wrapping_add(bucket_index * 0x9e37_79b9));
+        let mut generator =
+            Generator::new(config, seed.wrapping_add(bucket_index as u64 * 0x9e37_79b9));
         let mut sets = Vec::new();
         let mut generated = 0u64;
         while sets.len() < plan.sets_per_bucket && generated < plan.max_generated {
@@ -339,16 +362,13 @@ pub fn generate_buckets(config: WorkloadConfig, plan: BucketPlan, seed: u64) -> 
                 }
             }
         }
-        buckets.push(Bucket {
+        Bucket {
             lo,
             hi,
             sets,
             generated,
-        });
-        lo = hi;
-        bucket_index += 1;
-    }
-    buckets
+        }
+    })
 }
 
 #[cfg(test)]
@@ -454,7 +474,11 @@ mod tests {
             for (_, t) in ts.iter() {
                 let p_ms = t.period().ticks() / 1000;
                 assert!(p_ms.is_power_of_two(), "period {p_ms} not a power of two");
-                assert!(t.mk().k().is_power_of_two(), "k {} not a power of two", t.mk().k());
+                assert!(
+                    t.mk().k().is_power_of_two(),
+                    "k {} not a power of two",
+                    t.mk().k()
+                );
             }
             // k·P are all powers of two ≤ 256 → LCM ≤ 256 ms.
             assert!(ts.hyperperiod() <= mkss_core::time::Time::from_ms(256));
@@ -497,6 +521,34 @@ mod tests {
     #[should_panic(expected = "empty interval")]
     fn raw_set_in_rejects_empty_interval() {
         Generator::new(WorkloadConfig::paper(), 0).raw_set_in(0.5, 0.5);
+    }
+
+    #[test]
+    fn parallel_bucket_generation_matches_serial() {
+        let plan = BucketPlan {
+            sets_per_bucket: 2,
+            ..BucketPlan::default()
+        };
+        let serial = generate_buckets_jobs(WorkloadConfig::paper(), plan, 5, 1);
+        for jobs in [0, 2, 7] {
+            let parallel = generate_buckets_jobs(WorkloadConfig::paper(), plan, 5, jobs);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.sets, b.sets, "jobs={jobs}");
+                assert_eq!(a.generated, b.generated, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_plan() {
+        let bounds = bucket_bounds(BucketPlan::default());
+        assert_eq!(bounds.len(), 8);
+        assert!((bounds[0].0 - 0.1).abs() < 1e-9);
+        assert!((bounds[7].1 - 0.9).abs() < 1e-9);
+        for w in bounds.windows(2) {
+            assert!((w[0].1 - w[1].0).abs() < 1e-9, "gap between buckets");
+        }
     }
 
     #[test]

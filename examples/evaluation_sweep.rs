@@ -24,9 +24,12 @@ fn main() {
         config.horizon = Time::from_ms(400);
         let result = run_experiment(&config);
         println!("{}", table::render(&result));
+        let max_reduction = result
+            .max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority)
+            .map_or("n/a".to_string(), |pct| format!("{pct:.1}%"));
         println!(
-            "selective vs dp: max reduction {:.1}%, mean normalized {:.3} vs {:.3}\n",
-            result.max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority),
+            "selective vs dp: max reduction {}, mean normalized {:.3} vs {:.3}\n",
+            max_reduction,
             result.mean_normalized(PolicyKind::Selective),
             result.mean_normalized(PolicyKind::DualPriority),
         );

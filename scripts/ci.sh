@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints on the experiment-pipeline crates, and
+# the tier-1 test surface (ROADMAP.md). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt (check) =="
+cargo fmt --check -p mkss-core -p mkss-workload -p mkss-bench -p mkss-cli
+
+echo "== clippy (deny warnings) =="
+cargo clippy -p mkss-core -p mkss-workload -p mkss-bench -p mkss-cli \
+    --all-targets -- -D warnings
+
+echo "== tier-1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -60,7 +60,9 @@ fn fig6a_shape_no_fault() {
         "selective should win at the top bucket ({top_util}), gap {top_gap}"
     );
     // …and the advantage somewhere is a real percentage.
-    let max_red = result.max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority);
+    let max_red = result
+        .max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority)
+        .expect("populated buckets compare both policies");
     assert!(max_red >= 4.0, "max reduction only {max_red:.1}%");
 }
 

@@ -1,0 +1,426 @@
+//! Offline in-tree subset of the `proptest` API.
+//!
+//! Implements the slice this workspace uses: the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, integer-range and
+//! `any::<bool>()` strategies, `proptest::collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros. Cases are
+//! drawn from a ChaCha8 stream seeded from the test's name, so every run
+//! explores the same inputs (fully deterministic, no persistence files).
+//! Unlike upstream there is no shrinking: a failure reports the exact
+//! inputs of the failing case instead.
+
+#![forbid(unsafe_code)]
+
+/// Strategies: sources of random test inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: Clone + rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng.rng(), self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: Clone + rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rand::Rng::gen_range(rng.rng(), self.clone())
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy ([`crate::prelude::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the whole domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u32(rng.rng()) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u32(rng.rng()) as u8
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u32(rng.rng())
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rand::RngCore::next_u64(rng.rng())
+        }
+    }
+
+    /// The strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy: `size.start..size.end` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rand::Rng::gen_range(rng.rng(), self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and case plumbing.
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is skipped, not failed.
+        Reject(String),
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejected (assume-filtered) case.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Result type the `proptest!` body is wrapped into.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-test RNG.
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// RNG derived from the test's fully-qualified name; every run of
+        /// the same test explores the same case sequence.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(ChaCha8Rng::seed_from_u64(h))
+        }
+
+        /// The underlying RNG.
+        pub fn rng(&mut self) -> &mut ChaCha8Rng {
+            &mut self.0
+        }
+    }
+
+    /// Drives one test: draws cases until `config.cases` pass, skipping
+    /// rejected cases (bounded so a too-strict `prop_assume!` terminates).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, reporting its inputs.
+    pub fn run(name: &str, config: &Config, mut case: impl FnMut(&mut TestRng) -> CaseOutcome) {
+        let mut rng = TestRng::from_name(name);
+        let mut passed: u32 = 0;
+        let max_attempts = config.cases.saturating_mul(20).max(100);
+        for _ in 0..max_attempts {
+            if passed >= config.cases {
+                return;
+            }
+            match case(&mut rng) {
+                CaseOutcome::Pass => passed += 1,
+                CaseOutcome::Reject => {}
+                CaseOutcome::Fail { inputs, message } => {
+                    panic!("proptest `{name}` failed: {message}\n  inputs: {inputs}");
+                }
+            }
+        }
+        assert!(
+            passed > 0,
+            "proptest `{name}`: every generated case was rejected by prop_assume!"
+        );
+    }
+
+    /// Outcome of a single generated case.
+    pub enum CaseOutcome {
+        /// The case passed.
+        Pass,
+        /// `prop_assume!` filtered the case out.
+        Reject,
+        /// The case failed.
+        Fail {
+            /// Rendered `name = value` pairs for the case's inputs.
+            inputs: String,
+            /// The failure message.
+            message: String,
+        },
+    }
+}
+
+/// Everything `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    use std::marker::PhantomData;
+
+    /// The whole-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(PhantomData)
+    }
+}
+
+/// Defines deterministic property tests; see the crate docs for the
+/// supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr);) => {};
+    (@cfg ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let full_name = concat!(module_path!(), "::", stringify!($name));
+            $crate::test_runner::run(full_name, &config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = || {
+                    let mut s = String::new();
+                    $(
+                        if !s.is_empty() { s.push_str(", "); }
+                        s.push_str(&format!("{} = {:?}", stringify!($arg), &$arg));
+                    )+
+                    s
+                };
+                let __result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __result {
+                    Ok(()) => $crate::test_runner::CaseOutcome::Pass,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        $crate::test_runner::CaseOutcome::Reject
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        $crate::test_runner::CaseOutcome::Fail {
+                            inputs: __inputs(),
+                            message,
+                        }
+                    }
+                }
+            });
+        }
+        $crate::__proptest_impl!(@cfg ($config); $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(a in 3u32..9, b in 0u64..=5, flag in any::<bool>()) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 5);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(any::<bool>(), 0..10)) {
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let draw = || {
+            let mut rng = TestRng::from_name("fixed");
+            (0..10)
+                .map(|_| (0u64..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_propagate() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{self, CaseOutcome, Config};
+        test_runner::run("always_fails", &Config::with_cases(4), |rng| {
+            let x = (0u32..10).generate(rng);
+            let result: TestCaseResult = (|| {
+                prop_assert!(x > 100);
+                Ok(())
+            })();
+            match result {
+                Ok(()) => CaseOutcome::Pass,
+                Err(TestCaseError::Reject(_)) => CaseOutcome::Reject,
+                Err(TestCaseError::Fail(message)) => CaseOutcome::Fail {
+                    inputs: format!("x = {x:?}"),
+                    message,
+                },
+            }
+        });
+    }
+}

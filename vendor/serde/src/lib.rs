@@ -1,0 +1,558 @@
+//! Offline in-tree subset of `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of serde it uses: `#[derive(Serialize, Deserialize)]` on
+//! concrete (non-generic) structs and enums, serialized through the
+//! JSON-shaped [`Value`] model that the sibling `serde_json` crate
+//! renders and parses. The trait *signatures* keep serde's shape
+//! (`Serialize`, `Deserialize<'de>`) so generic bounds like
+//! `T: serde::Serialize + for<'de> serde::Deserialize<'de>` compile
+//! unchanged.
+//!
+//! Supported container attributes: `#[serde(transparent)]`. Supported
+//! field attributes: `#[serde(default)]`, `#[serde(skip)]`,
+//! `#[serde(skip_serializing_if = "path")]`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model every serializable type lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (unsigned, signed, or floating).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving 64-bit integer precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" while deserializing `ty`.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        Error::custom(format!("{ty}: expected {what}, found {}", found.kind()))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("{ty}: missing field `{field}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can lower itself to a [`Value`].
+pub trait Serialize {
+    /// Lowers `self` to the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`]. The `'de` lifetime exists for
+/// signature compatibility with upstream serde bounds.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value`'s shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::U64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range"))),
+                    Value::Number(Number::I64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range"))),
+                    other => Err(Error::expected("unsigned integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::I64(v))
+                } else {
+                    Value::Number(Number::U64(v as u64))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::U64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range"))),
+                    Value::Number(Number::I64(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("integer {n} out of range"))),
+                    other => Err(Error::expected("integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::F64(x)) => Ok(*x as $t),
+                    Value::Number(Number::U64(n)) => Ok(*n as $t),
+                    Value::Number(Number::I64(n)) => Ok(*n as $t),
+                    other => Err(Error::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "fixed-size array", value))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        <[T; N]>::try_from(parsed)
+            .map_err(|_| Error::custom("array length mismatch after parse"))
+    }
+}
+
+/// A map key must lower to a string (unit enum variants and strings do;
+/// integers are stringified like serde_json does).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(Number::U64(n)) => n.to_string(),
+        Value::Number(Number::I64(n)) => n.to_string(),
+        other => panic!("unsupported map key type (serialized as {})", other.kind()),
+    }
+}
+
+fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, Error> {
+    K::from_value(&Value::String(key.to_owned())).or_else(|string_err| {
+        // Integer keys arrive as strings in JSON; retry numerically.
+        if let Ok(n) = key.parse::<u64>() {
+            return K::from_value(&Value::Number(Number::U64(n)));
+        }
+        if let Ok(n) = key.parse::<i64>() {
+            return K::from_value(&Value::Number(Number::I64(n)));
+        }
+        Err(string_err)
+    })
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "BTreeMap", value))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "HashMap", value))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::expected("array", "tuple", value))?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected} elements, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", "()", other)),
+        }
+    }
+}
+
+/// Support code referenced by the derive-generated impls. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks a field up by name; a missing field deserializes from
+    /// `Null` so that `Option` fields default to `None`.
+    pub fn get_field<'de, T: Deserialize<'de>>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
+            None => {
+                T::from_value(&Value::Null).map_err(|_| Error::missing_field(ty, name))
+            }
+        }
+    }
+
+    /// Like [`get_field`], but a missing (or null) field falls back to
+    /// `Default::default()` — the `#[serde(default)]` behavior.
+    pub fn get_field_or_default<'de, T: Deserialize<'de> + Default>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) if *v != Value::Null => {
+                T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+            }
+            _ => Ok(T::default()),
+        }
+    }
+}
+
+/// `serde::de` shim: re-exports the error type under its upstream path.
+pub mod de {
+    pub use super::Error;
+}
+
+/// `serde::ser` shim: re-exports the error type under its upstream path.
+pub mod ser {
+    pub use super::Error;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Number(Number::U64(3))).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "b".to_owned());
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![("2".into(), Value::String("b".into()))])
+        );
+        let back: BTreeMap<u32, String> = BTreeMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arrays_fixed_size() {
+        let a = [1u8, 2, 3];
+        let v = a.to_value();
+        let back: [u8; 3] = <[u8; 3]>::from_value(&v).unwrap();
+        assert_eq!(back, a);
+        assert!(<[u8; 2]>::from_value(&v).is_err());
+    }
+}

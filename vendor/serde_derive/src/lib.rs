@@ -1,0 +1,520 @@
+//! Offline in-tree `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde subset. No syn/quote: the item is parsed directly from the
+//! `proc_macro` token stream and the impls are emitted as source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - non-generic structs: named, tuple (1-field treated as transparent
+//!   newtype, n-field as array), unit
+//! - non-generic enums: unit variants (externally tagged as strings),
+//!   newtype variants and struct variants (single-key objects)
+//! - container attr `#[serde(transparent)]`; field/variant attrs
+//!   `#[serde(default)]`, `#[serde(skip)]`, `#[serde(rename = "...")]`,
+//!   `#[serde(skip_serializing_if = "path")]`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Attrs {
+    default_: bool,
+    skip: bool,
+    transparent: bool,
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only count and per-field attrs matter.
+    Tuple(Vec<Attrs>),
+    Named(Vec<(String, Attrs)>),
+}
+
+struct Variant {
+    name: String,
+    attrs: Attrs,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: Attrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Consumes leading attributes, folding `#[serde(...)]` ones into the
+    /// returned [`Attrs`]; all others (doc comments, `#[repr]`, remaining
+    /// derives) are discarded.
+    fn take_attrs(&mut self) -> Result<Attrs, String> {
+        let mut attrs = Attrs::default();
+        while self.at_punct('#') {
+            self.bump();
+            // `#![...]` inner attrs can't appear here; expect `[...]`.
+            let group = match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("expected attribute brackets, found {other:?}")),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.at_ident("serde") {
+                inner.bump();
+                let args = match inner.bump() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => return Err(format!("malformed #[serde] attr: {other:?}")),
+                };
+                parse_serde_args(&mut Cursor::new(args.stream()), &mut attrs)?;
+            }
+        }
+        Ok(attrs)
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in path)` if present.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.bump();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.bump();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Skips a type (or expression) up to a top-level comma or the end of
+    /// the stream; the comma itself is consumed. Angle brackets are
+    /// tracked so commas inside generics don't terminate early.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+}
+
+fn parse_serde_args(cur: &mut Cursor, attrs: &mut Attrs) -> Result<(), String> {
+    while cur.peek().is_some() {
+        let key = cur.expect_ident("serde attribute name")?;
+        let value = if cur.at_punct('=') {
+            cur.bump();
+            match cur.bump() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_owned())
+                }
+                other => return Err(format!("expected literal after `{key} =`, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        match key.as_str() {
+            "default" => attrs.default_ = true,
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "transparent" => attrs.transparent = true,
+            "rename" => attrs.rename = value,
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            other => return Err(format!("unsupported serde attribute `{other}`")),
+        }
+        if cur.at_punct(',') {
+            cur.bump();
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<(String, Attrs)>, String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.take_attrs()?;
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name")?;
+        if !cur.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.bump();
+        cur.skip_until_comma();
+        fields.push((name, attrs));
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Result<Vec<Attrs>, String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.take_attrs()?;
+        cur.skip_visibility();
+        cur.skip_until_comma();
+        fields.push(attrs);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.take_attrs()?;
+        let name = cur.expect_ident("variant name")?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream())?;
+                cur.bump();
+                Fields::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cur.bump();
+                Fields::Named(fields)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        cur.skip_until_comma();
+        variants.push(Variant {
+            name,
+            attrs,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let attrs = cur.take_attrs()?;
+    cur.skip_visibility();
+    let kind = cur.expect_ident("`struct` or `enum`")?;
+    let name = cur.expect_ident("item name")?;
+    if cur.at_punct('<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (on `{name}`)"
+        ));
+    }
+    let shape = match kind.as_str() {
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(parse_tuple_fields(g.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive on `{other}` items")),
+    };
+    Ok(Item {
+        name,
+        attrs,
+        shape,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn wire_name(declared: &str, attrs: &Attrs) -> String {
+    attrs.rename.clone().unwrap_or_else(|| declared.to_owned())
+}
+
+/// Emits `entries.push(...)` statements for named fields; `access` maps a
+/// field name to the expression reaching it (e.g. `&self.a` or a match
+/// binding `a`).
+fn ser_named_entries(fields: &[(String, Attrs)], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for (name, attrs) in fields {
+        if attrs.skip {
+            continue;
+        }
+        let expr = access(name);
+        let push = format!(
+            "entries.push(({:?}.to_string(), serde::Serialize::to_value({expr})));\n",
+            wire_name(name, attrs)
+        );
+        if let Some(pred) = &attrs.skip_serializing_if {
+            out.push_str(&format!("if !{pred}({expr}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "serde::Value::Null".to_owned(),
+        Shape::Struct(Fields::Tuple(fields)) if fields.len() == 1 || item.attrs.transparent => {
+            "serde::Serialize::to_value(&self.0)".to_owned()
+        }
+        Shape::Struct(Fields::Tuple(fields)) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) if item.attrs.transparent => {
+            let inner = &fields
+                .first()
+                .expect("transparent struct has a field")
+                .0;
+            format!("serde::Serialize::to_value(&self.{inner})")
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            format!(
+                "let mut entries: Vec<(String, serde::Value)> = Vec::new();\n{}\nserde::Value::Object(entries)",
+                ser_named_entries(fields, |f| format!("&self.{f}"))
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = wire_name(&v.name, &v.attrs);
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String({tag:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => serde::Value::Object(vec![({tag:?}.to_string(), serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Object(vec![({tag:?}.to_string(), serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|(f, _)| f.clone()).collect();
+                        let entries = ser_named_entries(fields, |f| f.to_owned());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut entries: Vec<(String, serde::Value)> = Vec::new();\n{entries}\nserde::Value::Object(vec![({tag:?}.to_string(), serde::Value::Object(entries))])\n}},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits `field: <getter>(...)` initializers for a named-fields body read
+/// from object entries bound as `entries`.
+fn de_named_inits(fields: &[(String, Attrs)], ty: &str) -> String {
+    let mut out = String::new();
+    for (name, attrs) in fields {
+        if attrs.skip {
+            out.push_str(&format!("{name}: Default::default(),\n"));
+            continue;
+        }
+        let getter = if attrs.default_ {
+            "serde::__private::get_field_or_default"
+        } else {
+            "serde::__private::get_field"
+        };
+        out.push_str(&format!(
+            "{name}: {getter}(entries, {:?}, {ty:?})?,\n",
+            wire_name(name, attrs)
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("{{ let _ = value; Ok({name}) }}"),
+        Shape::Struct(Fields::Tuple(fields)) if fields.len() == 1 || item.attrs.transparent => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Struct(Fields::Tuple(fields)) => {
+            let n = fields.len();
+            let inits: Vec<String> = (0..n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| serde::Error::expected(\"array\", {name:?}, value))?;\n\
+                 if items.len() != {n} {{ return Err(serde::Error::custom(format!(\"{name}: expected {n} elements, found {{}}\", items.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) if item.attrs.transparent => {
+            let inner = &fields
+                .first()
+                .expect("transparent struct has a field")
+                .0;
+            format!("Ok({name} {{ {inner}: serde::Deserialize::from_value(value)? }})")
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            format!(
+                "let entries = value.as_object().ok_or_else(|| serde::Error::expected(\"object\", {name:?}, value))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                de_named_inits(fields, name)
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let tag = wire_name(&v.name, &v.attrs);
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => string_arms
+                        .push_str(&format!("{tag:?} => Ok({name}::{vname}),\n")),
+                    Fields::Tuple(fields) if fields.len() == 1 => tagged_arms.push_str(&format!(
+                        "{tag:?} => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(fields) => {
+                        let n = fields.len();
+                        let inits: Vec<String> = (0..n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let items = inner.as_array().ok_or_else(|| serde::Error::expected(\"array\", {name:?}, inner))?;\n\
+                             if items.len() != {n} {{ return Err(serde::Error::custom(format!(\"{name}::{vname}: expected {n} elements, found {{}}\", items.len()))); }}\n\
+                             Ok({name}::{vname}({}))\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let entries = inner.as_object().ok_or_else(|| serde::Error::expected(\"object\", {name:?}, inner))?;\n\
+                             Ok({name}::{vname} {{\n{}\n}})\n}}\n",
+                            de_named_inits(fields, name)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n\
+                 {string_arms}\
+                 other => Err(serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }},\n\
+                 serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(serde::Error::expected(\"variant string or single-key object\", {name:?}, other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
