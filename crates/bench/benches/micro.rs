@@ -11,8 +11,8 @@ use mkss_core::history::{JobOutcome, MkHistory};
 use mkss_core::mk::{MkConstraint, Pattern};
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
-use mkss_policies::PolicyKind;
-use mkss_sim::engine::{simulate, SimConfig};
+use mkss_policies::{BuildOptions, PolicyKind};
+use mkss_sim::engine::{simulate, simulate_in, SimConfig, SimWorkspace};
 use mkss_workload::{Generator, WorkloadConfig};
 use std::hint::black_box;
 
@@ -83,9 +83,13 @@ fn bench_rotation(c: &mut Criterion) {
 
 fn bench_trace_tools(c: &mut Criterion) {
     let ts = sample_set();
-    let mut config = SimConfig::new(Time::from_ms(500));
-    config.record_trace = true;
-    let mut policy = PolicyKind::Selective.build(&ts).unwrap();
+    let config = SimConfig::builder()
+        .horizon_ms(500)
+        .record_trace(true)
+        .build();
+    let mut policy = PolicyKind::Selective
+        .build(&ts, &BuildOptions::default())
+        .unwrap();
     let report = simulate(&ts, policy.as_mut(), &config);
     let trace = report.trace.as_ref().unwrap();
     c.bench_function("trace/vcd_render", |b| {
@@ -143,8 +147,37 @@ fn bench_simulate(c: &mut Criterion) {
     ] {
         group.bench_function(kind.id(), |b| {
             b.iter(|| {
-                let mut policy = kind.build(&ts).unwrap();
+                let mut policy = kind.build(&ts, &BuildOptions::default()).unwrap();
                 black_box(simulate(black_box(&ts), policy.as_mut(), &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The engine's hot path, isolated from policy construction: one full
+/// `record_trace = false` run per iteration, fresh arena vs reused
+/// workspace — the pair whose ratio `BENCH_sim.json` tracks.
+fn bench_sim_hot_path(c: &mut Criterion) {
+    let ts = sample_set();
+    let config = SimConfig::builder().horizon_ms(500).build();
+    let opts = BuildOptions::default();
+    let mut group = c.benchmark_group("sim_hot_path");
+    for kind in PolicyKind::PAPER {
+        group.bench_function(format!("fresh/{}", kind.id()).as_str(), |b| {
+            let mut policy = kind.build(&ts, &opts).unwrap();
+            b.iter(|| black_box(simulate(black_box(&ts), policy.as_mut(), &config)))
+        });
+        group.bench_function(format!("reuse/{}", kind.id()).as_str(), |b| {
+            let mut policy = kind.build(&ts, &opts).unwrap();
+            let mut ws = SimWorkspace::new();
+            b.iter(|| {
+                black_box(simulate_in(
+                    &mut ws,
+                    black_box(&ts),
+                    policy.as_mut(),
+                    &config,
+                ))
             })
         });
     }
@@ -157,6 +190,7 @@ criterion_group!(
     bench_core,
     bench_workload,
     bench_simulate,
+    bench_sim_hot_path,
     bench_rotation,
     bench_trace_tools
 );

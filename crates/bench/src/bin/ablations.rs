@@ -38,7 +38,7 @@ fn main() -> ExitCode {
                         Time::from_ms(value()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?)
                 }
                 "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-                "--scenario" => template.scenario = value()?.parse()?,
+                "--scenario" => template.scenario = value()?.parse().map_err(|e| format!("{e}"))?,
                 "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
                 "--help" | "-h" => {
                     println!(

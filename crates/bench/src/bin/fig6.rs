@@ -66,7 +66,7 @@ fn parse_args() -> Result<Args, String> {
                 scenarios = if v == "all" {
                     Scenario::ALL.to_vec()
                 } else {
-                    vec![v.parse()?]
+                    vec![v.parse().map_err(|e| format!("{e}"))?]
                 };
             }
             "--sets" => {

@@ -1,0 +1,86 @@
+//! Engine-throughput snapshot: times the fresh (`simulate`) and
+//! reused-workspace (`simulate_in`) entry paths on Section-V-sized task
+//! sets and writes the `BENCH_sim.json` tracked in the repo root.
+//!
+//! ```text
+//! sim_bench [--sets N] [--reps N] [--horizon-ms MS] [--seed S]
+//!           [--out PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use mkss_bench::perf::{measure, SimBenchConfig};
+
+fn main() -> ExitCode {
+    let mut config = SimBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--sets" => {
+                    config.sets_per_util = value()?.parse().map_err(|e| format!("--sets: {e}"))?
+                }
+                "--reps" => config.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+                "--horizon-ms" => {
+                    config.horizon_ms =
+                        value()?.parse().map_err(|e| format!("--horizon-ms: {e}"))?
+                }
+                "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--out" => out = Some(value()?),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: sim_bench [--sets N] [--reps N] [--horizon-ms MS] [--seed S] \
+                         [--out PATH]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = measure(&config);
+    eprintln!(
+        "{} simulations, {} released jobs per rep",
+        report.simulations, report.released_jobs
+    );
+    eprintln!(
+        "fresh: {:8.1} ms  {:8.1} sims/s  {:10.0} jobs/s",
+        report.fresh.wall_ms, report.fresh.sims_per_second, report.fresh.jobs_per_second
+    );
+    eprintln!(
+        "reuse: {:8.1} ms  {:8.1} sims/s  {:10.0} jobs/s  ({:.2}x)",
+        report.reuse.wall_ms,
+        report.reuse.sims_per_second,
+        report.reuse.jobs_per_second,
+        report.reuse_speedup()
+    );
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: serializing report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

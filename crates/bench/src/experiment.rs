@@ -8,8 +8,8 @@ use std::time::Instant;
 use mkss_core::par;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
-use mkss_policies::PolicyKind;
-use mkss_sim::engine::{simulate, SimConfig};
+use mkss_policies::{BuildOptions, PolicyKind};
+use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
 use mkss_sim::fault::FaultConfig;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
@@ -54,13 +54,34 @@ impl Scenario {
     }
 }
 
+/// Error parsing a [`Scenario`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ParseScenarioError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scenario '{}'; expected no-fault|permanent|combined",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
 impl std::str::FromStr for Scenario {
-    type Err = String;
+    type Err = ParseScenarioError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Scenario::ALL
             .into_iter()
             .find(|sc| sc.id() == s)
-            .ok_or_else(|| format!("unknown scenario '{s}'; expected no-fault|permanent|combined"))
+            .ok_or_else(|| ParseScenarioError {
+                input: s.to_owned(),
+            })
     }
 }
 
@@ -644,26 +665,37 @@ enum SetOutcome {
     ZeroReference,
 }
 
-/// Simulates all policies on one set.
+thread_local! {
+    /// Per-worker simulation arena. `run_experiment_jobs` fans sets
+    /// across worker threads; each worker reuses its own workspace for
+    /// every set × policy it simulates, so steady-state simulation is
+    /// allocation-free (see `mkss_sim::engine::SimWorkspace`).
+    static WORKSPACE: std::cell::RefCell<SimWorkspace> =
+        std::cell::RefCell::new(SimWorkspace::new());
+}
+
+/// Simulates all policies on one set (inside the calling worker's
+/// reusable workspace).
 fn simulate_set(
     ts: &TaskSet,
     policies: &[PolicyKind],
     config: &ExperimentConfig,
     faults: FaultConfig,
 ) -> SetOutcome {
-    let sim_config = SimConfig {
-        horizon: config.horizon,
-        power: config.power,
-        faults,
-        record_trace: false,
-    };
+    let sim_config = SimConfig::builder()
+        .horizon(config.horizon)
+        .power(config.power)
+        .faults(faults)
+        .build();
+    let build_opts = BuildOptions::default();
     let mut energies: BTreeMap<PolicyKind, (f64, u64)> = BTreeMap::new();
     for &kind in policies {
-        let mut policy = match kind.build(ts) {
+        let mut policy = match kind.build(ts, &build_opts) {
             Ok(policy) => policy,
             Err(error) => return SetOutcome::BuildError(format!("{kind}: {error}")),
         };
-        let report = simulate(ts, policy.as_mut(), &sim_config);
+        let report = WORKSPACE
+            .with(|ws| simulate_in(&mut ws.borrow_mut(), ts, policy.as_mut(), &sim_config));
         energies.insert(
             kind,
             (

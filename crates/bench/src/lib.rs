@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod perf;
 pub mod report_html;
 pub mod sched;
 pub mod table;

@@ -6,8 +6,8 @@
 //! period on the survivor, exceeding the synchronous interference bound.)
 
 use mkss_bench::experiment::{ExperimentConfig, Scenario};
-use mkss_policies::PolicyKind;
-use mkss_sim::engine::{simulate, SimConfig};
+use mkss_policies::{BuildOptions, PolicyKind};
+use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
 use mkss_workload::generate_buckets;
 
 #[test]
@@ -16,16 +16,16 @@ fn no_policy_violates_under_fig6b_fault_plans() {
     let buckets = generate_buckets(config.workload, config.plan, config.seed);
     let mut set_counter = 0u64;
     let mut checked = 0u64;
+    let mut ws = SimWorkspace::new();
     for bucket in &buckets {
         for ts in &bucket.sets {
             let faults = config.fault_plan(set_counter);
             set_counter += 1;
-            let sim_config = SimConfig {
-                horizon: config.horizon,
-                power: config.power,
-                faults,
-                record_trace: false,
-            };
+            let sim_config = SimConfig::builder()
+                .horizon(config.horizon)
+                .power(config.power)
+                .faults(faults)
+                .build();
             for kind in [
                 PolicyKind::Static,
                 PolicyKind::DualPriority,
@@ -36,8 +36,10 @@ fn no_policy_violates_under_fig6b_fault_plans() {
                 PolicyKind::DualPriorityJobTheta,
                 PolicyKind::DvsDualPriority,
             ] {
-                let mut policy = kind.build(ts).expect("schedulable set");
-                let report = simulate(ts, policy.as_mut(), &sim_config);
+                let mut policy = kind
+                    .build(ts, &BuildOptions::default())
+                    .expect("schedulable set");
+                let report = simulate_in(&mut ws, ts, policy.as_mut(), &sim_config);
                 checked += 1;
                 assert!(
                     report.mk_assured(),

@@ -28,8 +28,8 @@ use mkss_analysis::rta::{analyze, InterferenceModel};
 use mkss_core::mk::Pattern;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
-use mkss_policies::PolicyKind;
-use mkss_sim::engine::{simulate, SimConfig};
+use mkss_policies::{BuildOptions, PolicyKind};
+use mkss_sim::engine::{simulate, simulate_in, SimConfig, SimWorkspace};
 use mkss_sim::fault::FaultConfig;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
@@ -236,14 +236,14 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     }
 
     let mut policy = policy_kind
-        .build(&ts)
+        .build(&ts, &BuildOptions::default())
         .map_err(|e| CliError::Input(e.to_string()))?;
-    let config = SimConfig {
-        horizon,
-        power,
-        faults,
-        record_trace: gantt || vcd_path.is_some(),
-    };
+    let config = SimConfig::builder()
+        .horizon(horizon)
+        .power(power)
+        .faults(faults)
+        .record_trace(gantt || vcd_path.is_some())
+        .build();
     let report = simulate(&ts, policy.as_mut(), &config);
 
     let mut out = String::new();
@@ -320,21 +320,21 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
             other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
         }
     }
-    let config = SimConfig {
-        horizon,
-        power: PowerModel::default(),
-        faults: FaultConfig::none(),
-        record_trace: false,
-    };
+    let config = SimConfig::builder().horizon(horizon).build();
     // Every policy simulates the same set independently — fan them out;
     // rows are then rendered in registry order, so the output (including
     // the "first applicable policy" normalization reference) is identical
-    // to the serial loop.
+    // to the serial loop. Each worker thread reuses one arena.
+    thread_local! {
+        static WORKSPACE: std::cell::RefCell<SimWorkspace> =
+            std::cell::RefCell::new(SimWorkspace::new());
+    }
     let rows = mkss_core::par::map_indexed(jobs, &PolicyKind::ALL, |_, &kind| {
-        let Ok(mut policy) = kind.build(&ts) else {
+        let Ok(mut policy) = kind.build(&ts, &BuildOptions::default()) else {
             return None;
         };
-        let report = simulate(&ts, policy.as_mut(), &config);
+        let report =
+            WORKSPACE.with(|ws| simulate_in(&mut ws.borrow_mut(), &ts, policy.as_mut(), &config));
         Some((
             report.total_energy().units(),
             report.active_energy().units(),

@@ -91,6 +91,16 @@ impl MkHistory {
         self.mk
     }
 
+    /// Resets the history to its initial all-met pre-history state,
+    /// keeping the window allocation. Equivalent to (but cheaper than)
+    /// `*self = MkHistory::new(self.constraint())`; used by simulation
+    /// workspaces that are reused across runs.
+    pub fn reset(&mut self) {
+        self.window.fill(JobOutcome::Met);
+        self.recorded = 0;
+        self.met_total = 0;
+    }
+
     /// Records the outcome of the next job in release order.
     pub fn record(&mut self, outcome: JobOutcome) {
         if !self.window.is_empty() {

@@ -326,6 +326,18 @@ impl MkMonitor {
         self.mk
     }
 
+    /// Resets the monitor to its initial all-met pre-history state,
+    /// keeping the window allocation. Equivalent to (but cheaper than)
+    /// `*self = MkMonitor::new(self.constraint())`; used by simulation
+    /// workspaces that are reused across runs.
+    pub fn reset(&mut self) {
+        self.window.fill(true);
+        self.cursor = 0;
+        self.seen = 0;
+        self.met_in_window = self.mk.k();
+        self.first_violation = None;
+    }
+
     /// Records the outcome of the next job (`true` = met its deadline).
     /// Returns `false` iff this outcome completes a violating window (or a
     /// violation already occurred).

@@ -271,8 +271,10 @@ mod tests {
         let ts = light_set();
         for at_ms in (0..120).step_by(7) {
             for proc in ProcId::ALL {
-                let mut config = SimConfig::new(Time::from_ms(120));
-                config.faults = FaultConfig::permanent(proc, Time::from_ms(at_ms));
+                let config = SimConfig::builder()
+                    .horizon_ms(120)
+                    .faults(FaultConfig::permanent(proc, Time::from_ms(at_ms)))
+                    .build();
                 let mut dvs = MkssDpDvs::new(&ts).unwrap();
                 let report = simulate(&ts, &mut dvs, &config);
                 assert!(report.mk_assured(), "violation with {proc} fault at {at_ms}ms");
@@ -284,8 +286,11 @@ mod tests {
     fn slowed_mains_still_meet_deadlines() {
         let ts = light_set();
         let mut dvs = MkssDpDvs::new(&ts).unwrap();
-        let mut config = SimConfig::active_only(Time::from_ms(600));
-        config.record_trace = true;
+        let config = SimConfig::builder()
+            .horizon_ms(600)
+            .active_only()
+            .record_trace(true)
+            .build();
         let report = simulate(&ts, &mut dvs, &config);
         assert_eq!(report.stats.missed, report.stats.optional_skipped);
         assert!(report.mk_assured());

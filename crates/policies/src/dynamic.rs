@@ -428,8 +428,11 @@ mod tests {
         let ts = fig1_set();
         for at_ms in 0..20 {
             for proc in ProcId::ALL {
-                let mut config = SimConfig::active_only(Time::from_ms(20));
-                config.faults = FaultConfig::permanent(proc, Time::from_ms(at_ms));
+                let config = SimConfig::builder()
+                    .horizon_ms(20)
+                    .active_only()
+                    .faults(FaultConfig::permanent(proc, Time::from_ms(at_ms)))
+                    .build();
                 let mut p = DynamicPolicy::new(&ts).unwrap();
                 let report = simulate(&ts, &mut p, &config);
                 assert!(

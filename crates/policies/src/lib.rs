@@ -55,5 +55,5 @@ pub use dynamic::{
     BackupDelay, DynamicConfig, DynamicPolicy, MkssSelective, OptionalPlacement, SelectionRule,
 };
 pub use error::BuildPolicyError;
-pub use registry::PolicyKind;
+pub use registry::{BuildOptions, ParsePolicyKindError, PolicyKind};
 pub use static_pattern::{MkssSt, MkssStRotated};

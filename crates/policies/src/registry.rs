@@ -54,6 +54,36 @@ pub enum PolicyKind {
     DvsDualPriority,
 }
 
+/// Options shared by every scheme [`PolicyKind::build`] can construct.
+///
+/// `#[non_exhaustive]` so new knobs can be added without breaking the
+/// registry's callers; start from [`BuildOptions::default`] and set the
+/// fields you need.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct BuildOptions {
+    /// Fixed DVS speed (permil of full speed, `1..=1000`) for schemes
+    /// that slow their mains ([`PolicyKind::DvsDualPriority`]); `None`
+    /// searches for the lowest feasible speed. Full-speed schemes
+    /// ignore it.
+    pub dvs_speed_permil: Option<u32>,
+}
+
+impl BuildOptions {
+    /// The defaults: every scheme built exactly as the paper describes.
+    pub fn new() -> Self {
+        BuildOptions::default()
+    }
+
+    /// Defaults with a fixed DVS speed for the DVS schemes.
+    pub fn with_dvs_speed(speed_permil: u32) -> Self {
+        BuildOptions {
+            dvs_speed_permil: Some(speed_permil),
+            ..BuildOptions::default()
+        }
+    }
+}
+
 impl PolicyKind {
     /// All kinds, in a stable presentation order.
     pub const ALL: [PolicyKind; 13] = [
@@ -79,14 +109,33 @@ impl PolicyKind {
         PolicyKind::Selective,
     ];
 
-    /// Builds the policy for `ts`.
+    /// Builds the policy for `ts` — the single entry point every
+    /// harness, example, and test goes through.
     ///
     /// # Errors
     ///
     /// Returns [`BuildPolicyError::Unschedulable`] for sets failing the
     /// R-pattern analysis (all schemes except [`PolicyKind::Static`]
     /// need it).
-    pub fn build(self, ts: &TaskSet) -> Result<Box<dyn Policy>, BuildPolicyError> {
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mkss_core::prelude::*;
+    /// use mkss_policies::{BuildOptions, PolicyKind};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let ts = TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2)?])?;
+    /// let policy = PolicyKind::Selective.build(&ts, &BuildOptions::default())?;
+    /// assert_eq!(policy.name(), "MKSS_selective");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(
+        self,
+        ts: &TaskSet,
+        opts: &BuildOptions,
+    ) -> Result<Box<dyn Policy>, BuildPolicyError> {
         Ok(match self {
             PolicyKind::Static => Box::new(MkssSt::new()),
             PolicyKind::StaticEven => {
@@ -140,7 +189,10 @@ impl PolicyKind {
                 MainPlacement::MainsOnPrimary,
                 StaticBackupDelay::JobPostponement,
             )?),
-            PolicyKind::DvsDualPriority => Box::new(crate::MkssDpDvs::new(ts)?),
+            PolicyKind::DvsDualPriority => match opts.dvs_speed_permil {
+                Some(speed) => Box::new(crate::MkssDpDvs::with_speed(ts, speed)?),
+                None => Box::new(crate::MkssDpDvs::new(ts)?),
+            },
         })
     }
 
@@ -172,6 +224,7 @@ impl fmt::Display for PolicyKind {
 
 /// Error parsing a policy kind from a string.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ParsePolicyKindError {
     input: String,
 }
@@ -216,9 +269,22 @@ mod tests {
     fn every_kind_builds() {
         let ts = set();
         for kind in PolicyKind::ALL {
-            let p = kind.build(&ts).unwrap();
+            let p = kind.build(&ts, &BuildOptions::default()).unwrap();
             assert!(!p.name().is_empty(), "{kind}");
         }
+    }
+
+    #[test]
+    fn dvs_speed_option_pins_the_speed() {
+        let ts = set();
+        let opts = BuildOptions::with_dvs_speed(1000);
+        let p = PolicyKind::DvsDualPriority.build(&ts, &opts).unwrap();
+        // At full speed the DVS scheme degenerates to the θ-postponed
+        // dual-priority scheme; the name still identifies the family.
+        assert!(p.name().contains("DVS"), "name: {}", p.name());
+        // Full-speed schemes ignore the knob entirely.
+        let st = PolicyKind::Static.build(&ts, &opts).unwrap();
+        assert_eq!(st.name(), "MKSS_ST");
     }
 
     #[test]

@@ -28,6 +28,19 @@
 //! What a [`Policy`] contributes is only the per-release decision: is the
 //! job mandatory (and where do main/backup go, with what backup delay) or
 //! optional (selected on which processor, or skipped).
+//!
+//! ## Sessions and throughput
+//!
+//! Every experiment in the repo bottoms out in millions of calls into
+//! this module, so the inner loop is engineered to touch the heap only
+//! when a run grows past everything seen before: all per-run state
+//! (copies, job entries, task states, the ready/open index lists, and
+//! the trace buffers) lives in a reusable [`SimWorkspace`] arena.
+//! [`simulate_in`] runs one simulation inside a caller-owned workspace,
+//! so a sweep that simulates thousands of task sets reuses the same
+//! capacity throughout; [`simulate`] is the convenience wrapper that
+//! creates a throwaway workspace per call. With `record_trace = false`
+//! the steady-state event loop performs **zero** allocations per event.
 
 use mkss_core::history::{JobOutcome, MkHistory};
 use mkss_core::job::{CopyKind, Job, JobClass};
@@ -44,7 +57,27 @@ use crate::report::{JobStats, MkViolation, SimReport};
 use crate::trace::{JobResolution, Segment, SegmentEnd, Trace};
 
 /// Configuration of one simulation run.
+///
+/// Construct with [`SimConfig::new`] / [`SimConfig::active_only`] for the
+/// common cases, or with the builder for anything else:
+///
+/// ```
+/// use mkss_core::time::Time;
+/// use mkss_sim::engine::SimConfig;
+///
+/// let config = SimConfig::builder()
+///     .horizon(Time::from_ms(500))
+///     .record_trace(true)
+///     .build();
+/// assert_eq!(config.horizon, Time::from_ms(500));
+/// assert!(config.record_trace);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields stay readable and
+/// assignable, but downstream struct literals must go through the
+/// builder so future knobs are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Simulated span `[0, horizon)`. Only jobs whose absolute deadline
     /// lies within the horizon are released, so every released job is
@@ -78,6 +111,66 @@ impl SimConfig {
             faults: FaultConfig::none(),
             record_trace: true,
         }
+    }
+
+    /// Starts a builder with the defaults of [`SimConfig::new`] and a
+    /// zero horizon; set the horizon before [`SimConfigBuilder::build`].
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::new(Time::ZERO),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`]; see [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the simulated span `[0, horizon)`.
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.config.horizon = horizon;
+        self
+    }
+
+    /// Sets the horizon in whole milliseconds.
+    pub fn horizon_ms(self, ms: u64) -> Self {
+        self.horizon(Time::from_ms(ms))
+    }
+
+    /// Sets the power model for energy accounting.
+    pub fn power(mut self, power: PowerModel) -> Self {
+        self.config.power = power;
+        self
+    }
+
+    /// Switches to active-only energy accounting *and* enables trace
+    /// recording, mirroring [`SimConfig::active_only`] (the motivating
+    /// examples' configuration).
+    pub fn active_only(mut self) -> Self {
+        self.config.power = PowerModel::active_only();
+        self.config.record_trace = true;
+        self
+    }
+
+    /// Sets the fault-injection configuration.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Sets whether the report keeps the full schedule trace.
+    pub fn record_trace(mut self, record_trace: bool) -> Self {
+        self.config.record_trace = record_trace;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SimConfig {
+        self.config
     }
 }
 
@@ -118,11 +211,14 @@ struct CopyInst {
     job_entry: usize,
 }
 
+/// A released job has at most two copies (main + backup); storing their
+/// indices inline keeps [`JobEntry`] allocation-free.
 #[derive(Debug)]
 struct JobEntry {
     job: Job,
     resolved: bool,
-    copies: Vec<usize>,
+    copies: [usize; 2],
+    copy_count: u8,
 }
 
 #[derive(Debug)]
@@ -133,10 +229,110 @@ struct TaskState {
     exhausted: bool,
 }
 
+/// Reusable per-run state of the simulator: an arena for copies, job
+/// entries, task states, the active/open index lists, scratch buffers,
+/// and the trace.
+///
+/// A workspace owns no results — every [`simulate_in`] call resets it —
+/// but it *retains capacity*, so back-to-back simulations stop paying
+/// for allocation and the hot loop runs heap-free in steady state (with
+/// `record_trace = false`). One workspace serves any number of task
+/// sets, policies, and configurations, in any order:
+///
+/// ```
+/// use mkss_core::prelude::*;
+/// use mkss_sim::prelude::*;
+/// # use mkss_sim::policy::{Policy, ReleaseCtx, ReleaseDecision};
+/// # struct Dup;
+/// # impl Policy for Dup {
+/// #     fn name(&self) -> &str { "dup" }
+/// #     fn on_release(&mut self, _ctx: &ReleaseCtx<'_>) -> ReleaseDecision {
+/// #         ReleaseDecision::Mandatory {
+/// #             main_proc: ProcId::PRIMARY,
+/// #             backup_delay: Time::ZERO,
+/// #         }
+/// #     }
+/// # }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2)?])?;
+/// let config = SimConfig::builder().horizon_ms(100).build();
+/// let mut ws = SimWorkspace::new();
+/// for _ in 0..3 {
+///     let report = simulate_in(&mut ws, &ts, &mut Dup, &config);
+///     assert!(report.mk_assured());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    copies: Vec<CopyInst>,
+    jobs: Vec<JobEntry>,
+    tasks: Vec<TaskState>,
+    /// Indices of copies that may still need CPU time (lazily pruned of
+    /// terminal-state copies to keep per-event scans O(active)).
+    active_copies: Vec<usize>,
+    /// Indices of jobs not yet resolved (lazily pruned).
+    open_jobs: Vec<usize>,
+    /// Scratch for deadline resolution (kept for its capacity).
+    due_scratch: Vec<usize>,
+    trace: Trace,
+    /// Merged busy intervals per processor, in time order.
+    busy: [Vec<(Time, Time)>; 2],
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace. Capacity grows on first use and is
+    /// retained across runs.
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Clears per-run state, keeping every allocation. Task states are
+    /// reset in place when the task-set shape matches the previous run.
+    fn begin_run(&mut self, ts: &TaskSet) {
+        self.copies.clear();
+        self.jobs.clear();
+        self.active_copies.clear();
+        self.open_jobs.clear();
+        self.due_scratch.clear();
+        self.trace.segments.clear();
+        self.trace.resolutions.clear();
+        for intervals in &mut self.busy {
+            intervals.clear();
+        }
+        let reusable = self.tasks.len() == ts.len()
+            && self
+                .tasks
+                .iter()
+                .zip(ts.iter())
+                .all(|(state, (_, task))| state.history.constraint() == task.mk());
+        if reusable {
+            for state in &mut self.tasks {
+                state.next_index = 1;
+                state.history.reset();
+                state.monitor.reset();
+                state.exhausted = false;
+            }
+        } else {
+            self.tasks.clear();
+            self.tasks.extend(ts.iter().map(|(_, task)| TaskState {
+                next_index: 1,
+                history: MkHistory::new(task.mk()),
+                monitor: MkMonitor::new(task.mk()),
+                exhausted: false,
+            }));
+        }
+    }
+}
+
 /// Runs one simulation of `policy` on `ts`.
 ///
 /// The run is fully deterministic given `config` (transient faults use a
-/// seeded RNG).
+/// seeded RNG). This is a thin wrapper over [`simulate_in`] with a
+/// throwaway [`SimWorkspace`]; batch callers should hold a workspace and
+/// call [`simulate_in`] directly to amortize the allocations.
 ///
 /// # Examples
 ///
@@ -169,68 +365,58 @@ struct TaskState {
 /// # }
 /// ```
 pub fn simulate<P: Policy + ?Sized>(ts: &TaskSet, policy: &mut P, config: &SimConfig) -> SimReport {
-    Engine::new(ts, config).run(policy)
+    let mut ws = SimWorkspace::new();
+    simulate_in(&mut ws, ts, policy, config)
 }
 
-struct Engine<'a> {
+/// Runs one simulation of `policy` on `ts` inside a caller-owned
+/// [`SimWorkspace`], reusing its capacity.
+///
+/// The report is **bit-identical** to what [`simulate`] produces for the
+/// same inputs, regardless of what the workspace was previously used
+/// for; reuse changes only where the intermediate state lives. See
+/// [`SimWorkspace`] for an example.
+pub fn simulate_in<P: Policy + ?Sized>(
+    ws: &mut SimWorkspace,
+    ts: &TaskSet,
+    policy: &mut P,
+    config: &SimConfig,
+) -> SimReport {
+    ws.begin_run(ts);
+    let engine = Engine {
+        ts,
+        config,
+        ws,
+        clock: Time::ZERO,
+        running: [None, None],
+        alive: [true, true],
+        death_time: [None, None],
+        fault_applied: false,
+        sampler: TransientSampler::new(&config.faults),
+        active_energy: [crate::power::Energy::ZERO; 2],
+        stats: JobStats::default(),
+        violations: Vec::new(),
+    };
+    engine.run(policy)
+}
+
+struct Engine<'a, 'w> {
     ts: &'a TaskSet,
     config: &'a SimConfig,
+    ws: &'w mut SimWorkspace,
     clock: Time,
-    copies: Vec<CopyInst>,
-    jobs: Vec<JobEntry>,
-    tasks: Vec<TaskState>,
-    /// Indices of copies that may still need CPU time (lazily pruned of
-    /// terminal-state copies to keep per-event scans O(active)).
-    active_copies: Vec<usize>,
-    /// Indices of jobs not yet resolved (lazily pruned).
-    open_jobs: Vec<usize>,
     running: [Option<usize>; 2],
     alive: [bool; 2],
     death_time: [Option<Time>; 2],
     fault_applied: bool,
     sampler: TransientSampler,
-    trace: Trace,
-    /// Merged busy intervals per processor, in time order.
-    busy: [Vec<(Time, Time)>; 2],
     /// Active energy accumulated per processor (DVS-aware).
     active_energy: [crate::power::Energy; 2],
     stats: JobStats,
     violations: Vec<MkViolation>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(ts: &'a TaskSet, config: &'a SimConfig) -> Self {
-        let tasks = ts
-            .iter()
-            .map(|(_, t)| TaskState {
-                next_index: 1,
-                history: MkHistory::new(t.mk()),
-                monitor: MkMonitor::new(t.mk()),
-                exhausted: false,
-            })
-            .collect();
-        Engine {
-            ts,
-            config,
-            clock: Time::ZERO,
-            copies: Vec::new(),
-            jobs: Vec::new(),
-            active_copies: Vec::new(),
-            open_jobs: Vec::new(),
-            tasks,
-            running: [None, None],
-            alive: [true, true],
-            death_time: [None, None],
-            fault_applied: false,
-            sampler: TransientSampler::new(&config.faults),
-            trace: Trace::new(),
-            busy: [Vec::new(), Vec::new()],
-            active_energy: [crate::power::Energy::ZERO; 2],
-            stats: JobStats::default(),
-            violations: Vec::new(),
-        }
-    }
-
+impl<'a, 'w> Engine<'a, 'w> {
     fn run<P: Policy + ?Sized>(mut self, policy: &mut P) -> SimReport {
         policy.init(self.ts);
         loop {
@@ -256,13 +442,30 @@ impl<'a> Engine<'a> {
 
     /// Drops terminal copies / resolved jobs from the active lists so the
     /// per-event scans stay O(active) instead of O(everything ever
-    /// released).
+    /// released). Swap-remove keeps the scan allocation-free; the lists
+    /// are unordered, which no consumer relies on (dispatch picks by
+    /// unique priority keys, deadline resolution re-sorts its batch).
     fn prune(&mut self) {
-        let copies = &self.copies;
-        self.active_copies
-            .retain(|&c| copies[c].state == CopyState::Pending);
-        let jobs = &self.jobs;
-        self.open_jobs.retain(|&j| !jobs[j].resolved);
+        let copies = &self.ws.copies;
+        let active = &mut self.ws.active_copies;
+        let mut i = 0;
+        while i < active.len() {
+            if copies[active[i]].state == CopyState::Pending {
+                i += 1;
+            } else {
+                active.swap_remove(i);
+            }
+        }
+        let jobs = &self.ws.jobs;
+        let open = &mut self.ws.open_jobs;
+        let mut i = 0;
+        while i < open.len() {
+            if jobs[open[i]].resolved {
+                open.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     // ----- fault handling ---------------------------------------------
@@ -285,10 +488,11 @@ impl<'a> Engine<'a> {
         if let Some(c) = self.running[p.index()].take() {
             self.close_segment(c, SegmentEnd::Lost);
         }
-        let active = self.active_copies.clone();
-        for idx in active {
-            if self.copies[idx].proc == p && self.copies[idx].state == CopyState::Pending {
-                self.copies[idx].state = CopyState::Lost;
+        for i in 0..self.ws.active_copies.len() {
+            let idx = self.ws.active_copies[i];
+            let copy = &mut self.ws.copies[idx];
+            if copy.proc == p && copy.state == CopyState::Pending {
+                copy.state = CopyState::Lost;
                 self.stats.copies_lost += 1;
             }
         }
@@ -297,19 +501,31 @@ impl<'a> Engine<'a> {
     // ----- deadline resolution ----------------------------------------
 
     fn resolve_due_deadlines(&mut self) {
-        let due = self.open_jobs.clone();
-        for j in due {
-            if !self.jobs[j].resolved && self.jobs[j].job.deadline <= self.clock {
-                self.resolve(j, JobOutcome::Missed, self.jobs[j].job.deadline);
+        let mut due = std::mem::take(&mut self.ws.due_scratch);
+        due.clear();
+        for &j in &self.ws.open_jobs {
+            let entry = &self.ws.jobs[j];
+            if !entry.resolved && entry.job.deadline <= self.clock {
+                due.push(j);
             }
         }
+        // `open_jobs` is unordered (swap-remove pruning); restore release
+        // order so resolutions land in the same order as the ordered-scan
+        // engine did — outcome histories, violations, and the trace all
+        // observe it.
+        due.sort_unstable();
+        for &j in &due {
+            let deadline = self.ws.jobs[j].job.deadline;
+            self.resolve(j, JobOutcome::Missed, deadline);
+        }
+        self.ws.due_scratch = due;
     }
 
     fn resolve(&mut self, job_idx: usize, outcome: JobOutcome, at: Time) {
-        debug_assert!(!self.jobs[job_idx].resolved);
-        self.jobs[job_idx].resolved = true;
-        let job = self.jobs[job_idx].job;
-        let tstate = &mut self.tasks[job.id.task.0];
+        debug_assert!(!self.ws.jobs[job_idx].resolved);
+        self.ws.jobs[job_idx].resolved = true;
+        let job = self.ws.jobs[job_idx].job;
+        let tstate = &mut self.ws.tasks[job.id.task.0];
         tstate.history.record(outcome);
         let was_violated = tstate.monitor.violated();
         tstate.monitor.record(outcome.is_met());
@@ -323,16 +539,19 @@ impl<'a> Engine<'a> {
             JobOutcome::Met => self.stats.met += 1,
             JobOutcome::Missed => self.stats.missed += 1,
         }
-        self.trace.resolutions.push(JobResolution {
-            job: job.id,
-            outcome,
-            at,
-        });
+        if self.config.record_trace {
+            self.ws.trace.resolutions.push(JobResolution {
+                job: job.id,
+                outcome,
+                at,
+            });
+        }
         if outcome == JobOutcome::Missed {
             // A missed job's remaining copies are useless; stop them.
-            let copies = self.jobs[job_idx].copies.clone();
-            for c in copies {
-                if self.copies[c].state == CopyState::Pending {
+            let copies = self.ws.jobs[job_idx].copies;
+            let count = self.ws.jobs[job_idx].copy_count as usize;
+            for &c in &copies[..count] {
+                if self.ws.copies[c].state == CopyState::Pending {
                     self.stop_copy(c, CopyState::Abandoned, SegmentEnd::Canceled);
                 }
             }
@@ -342,13 +561,13 @@ impl<'a> Engine<'a> {
     /// Takes a pending copy off its processor (closing any open segment)
     /// and puts it into a terminal state.
     fn stop_copy(&mut self, c: usize, state: CopyState, ended: SegmentEnd) {
-        debug_assert_eq!(self.copies[c].state, CopyState::Pending);
-        let proc = self.copies[c].proc;
+        debug_assert_eq!(self.ws.copies[c].state, CopyState::Pending);
+        let proc = self.ws.copies[c].proc;
         if self.running[proc.index()] == Some(c) {
             self.running[proc.index()] = None;
             self.close_segment(c, ended);
         }
-        self.copies[c].state = state;
+        self.ws.copies[c].state = state;
     }
 
     // ----- releases ----------------------------------------------------
@@ -356,20 +575,20 @@ impl<'a> Engine<'a> {
     fn process_releases<P: Policy + ?Sized>(&mut self, policy: &mut P) {
         for (id, task) in self.ts.iter() {
             loop {
-                let tstate = &self.tasks[id.0];
+                let tstate = &self.ws.tasks[id.0];
                 if tstate.exhausted {
                     break;
                 }
                 let index = tstate.next_index;
                 let release = task.release_of(index);
                 if task.deadline_of(index) > self.config.horizon {
-                    self.tasks[id.0].exhausted = true;
+                    self.ws.tasks[id.0].exhausted = true;
                     break;
                 }
                 if release > self.clock {
                     break;
                 }
-                self.tasks[id.0].next_index += 1;
+                self.ws.tasks[id.0].next_index += 1;
                 self.release_job(policy, id, index, release);
             }
         }
@@ -383,20 +602,20 @@ impl<'a> Engine<'a> {
         release: Time,
     ) {
         debug_assert_eq!(release, self.clock, "release processed late");
-        let fd = self.tasks[id.0].history.flexibility_degree();
+        let fd = self.ws.tasks[id.0].history.flexibility_degree();
         let decision = {
             let ctx = ReleaseCtx {
                 task: id,
                 job_index: index,
                 now: self.clock,
-                history: &self.tasks[id.0].history,
+                history: &self.ws.tasks[id.0].history,
                 alive: self.alive,
             };
             policy.on_release(&ctx)
         };
         self.stats.released += 1;
 
-        let job_entry = self.jobs.len();
+        let job_entry = self.ws.jobs.len();
         // Normalize the two mandatory forms.
         let decision = match decision {
             ReleaseDecision::Mandatory {
@@ -421,14 +640,15 @@ impl<'a> Engine<'a> {
                 );
                 self.stats.mandatory += 1;
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Mandatory);
-                let mut copies = Vec::with_capacity(2);
+                let mut copies = [0usize; 2];
+                let mut copy_count = 0u8;
                 // Main execution time stretched by the DVS slowdown.
                 let main_exec = Time::from_ticks(
                     (job.wcet.ticks() * 1000).div_ceil(u64::from(main_speed_permil)),
                 );
                 if self.alive[main_proc.index()] {
-                    let main_idx = self.copies.len();
-                    self.copies.push(CopyInst {
+                    let main_idx = self.ws.copies.len();
+                    self.ws.copies.push(CopyInst {
                         job,
                         kind: CopyKind::Main,
                         proc: main_proc,
@@ -442,11 +662,12 @@ impl<'a> Engine<'a> {
                         running_since: None,
                         job_entry,
                     });
-                    copies.push(main_idx);
+                    copies[copy_count as usize] = main_idx;
+                    copy_count += 1;
                     let backup_proc = main_proc.other();
                     if self.alive[backup_proc.index()] {
-                        let backup_idx = self.copies.len();
-                        self.copies.push(CopyInst {
+                        let backup_idx = self.ws.copies.len();
+                        self.ws.copies.push(CopyInst {
                             job,
                             kind: CopyKind::Backup,
                             proc: backup_proc,
@@ -460,8 +681,9 @@ impl<'a> Engine<'a> {
                             running_since: None,
                             job_entry,
                         });
-                        self.copies[main_idx].sibling = Some(backup_idx);
-                        copies.push(backup_idx);
+                        self.ws.copies[main_idx].sibling = Some(backup_idx);
+                        copies[copy_count as usize] = backup_idx;
+                        copy_count += 1;
                     }
                 } else {
                     // The main's processor is dead: host the job as its
@@ -472,8 +694,8 @@ impl<'a> Engine<'a> {
                     // delayed), and that release jitter can push a
                     // lower-priority backup past its deadline even though
                     // the synchronous analysis passes.
-                    let idx = self.copies.len();
-                    self.copies.push(CopyInst {
+                    let idx = self.ws.copies.len();
+                    self.ws.copies.push(CopyInst {
                         job,
                         kind: CopyKind::Backup,
                         proc: main_proc.other(),
@@ -487,17 +709,19 @@ impl<'a> Engine<'a> {
                         running_since: None,
                         job_entry,
                     });
-                    copies.push(idx);
+                    copies[copy_count as usize] = idx;
+                    copy_count += 1;
                 }
-                for &c in &copies {
-                    self.active_copies.push(c);
+                for &c in &copies[..copy_count as usize] {
+                    self.ws.active_copies.push(c);
                 }
-                self.jobs.push(JobEntry {
+                self.ws.jobs.push(JobEntry {
                     job,
                     resolved: false,
                     copies,
+                    copy_count,
                 });
-                self.open_jobs.push(job_entry);
+                self.ws.open_jobs.push(job_entry);
             }
             ReleaseDecision::Mandatory { .. } => {
                 unreachable!("normalized to MandatoryScaled above")
@@ -506,8 +730,8 @@ impl<'a> Engine<'a> {
                 self.stats.optional_selected += 1;
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
                 let proc = self.live_proc(proc);
-                let idx = self.copies.len();
-                self.copies.push(CopyInst {
+                let idx = self.ws.copies.len();
+                self.ws.copies.push(CopyInst {
                     job,
                     kind: CopyKind::Optional,
                     proc,
@@ -521,23 +745,25 @@ impl<'a> Engine<'a> {
                     running_since: None,
                     job_entry,
                 });
-                self.active_copies.push(idx);
-                self.jobs.push(JobEntry {
+                self.ws.active_copies.push(idx);
+                self.ws.jobs.push(JobEntry {
                     job,
                     resolved: false,
-                    copies: vec![idx],
+                    copies: [idx, 0],
+                    copy_count: 1,
                 });
-                self.open_jobs.push(job_entry);
+                self.ws.open_jobs.push(job_entry);
             }
             ReleaseDecision::Skip => {
                 self.stats.optional_skipped += 1;
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
-                self.jobs.push(JobEntry {
+                self.ws.jobs.push(JobEntry {
                     job,
                     resolved: false,
-                    copies: vec![],
+                    copies: [0, 0],
+                    copy_count: 0,
                 });
-                self.open_jobs.push(job_entry);
+                self.ws.open_jobs.push(job_entry);
             }
         }
     }
@@ -566,12 +792,12 @@ impl<'a> Engine<'a> {
             if let Some(old) = current {
                 // Preempted (still pending; completed/canceled copies
                 // already closed their segment and cleared `running`).
-                if self.copies[old].state == CopyState::Pending {
+                if self.ws.copies[old].state == CopyState::Pending {
                     self.close_segment(old, SegmentEnd::Preempted);
                 }
             }
             if let Some(new) = pick {
-                self.copies[new].running_since = Some(self.clock);
+                self.ws.copies[new].running_since = Some(self.clock);
             }
             self.running[proc.index()] = pick;
         }
@@ -580,9 +806,11 @@ impl<'a> Engine<'a> {
     /// Abandons every ready optional copy on `proc` that can no longer
     /// finish by its deadline even if it ran uninterrupted from now.
     fn abandon_infeasible_optionals(&mut self, proc: ProcId) {
-        let active = self.active_copies.clone();
-        for c in active {
-            let copy = &self.copies[c];
+        // `stop_copy` never touches `active_copies`, so plain index
+        // iteration is safe (and allocation-free).
+        for i in 0..self.ws.active_copies.len() {
+            let c = self.ws.active_copies[i];
+            let copy = &self.ws.copies[c];
             if copy.proc == proc
                 && copy.kind == CopyKind::Optional
                 && copy.state == CopyState::Pending
@@ -596,24 +824,29 @@ impl<'a> Engine<'a> {
     }
 
     /// MJQ strictly above OJQ; MJQ in fixed-priority order, OJQ ordered
-    /// by (flexibility degree at release, fixed priority).
+    /// by (flexibility degree at release, fixed priority). The ordering
+    /// keys are unique per processor (a job never has two copies on one
+    /// processor), so the unordered `active_copies` scan is
+    /// deterministic.
     fn pick_copy(&self, proc: ProcId) -> Option<usize> {
         let ready = |c: &CopyInst| {
             c.proc == proc && c.state == CopyState::Pending && c.release <= self.clock
         };
         let mandatory = self
+            .ws
             .active_copies
             .iter()
-            .map(|&i| (i, &self.copies[i]))
+            .map(|&i| (i, &self.ws.copies[i]))
             .filter(|(_, c)| ready(c) && c.kind != CopyKind::Optional)
             .min_by_key(|(_, c)| (c.job.id.task, c.job.id.index))
             .map(|(i, _)| i);
         if mandatory.is_some() {
             return mandatory;
         }
-        self.active_copies
+        self.ws
+            .active_copies
             .iter()
-            .map(|&i| (i, &self.copies[i]))
+            .map(|&i| (i, &self.ws.copies[i]))
             .filter(|(_, c)| ready(c) && c.kind == CopyKind::Optional)
             .min_by_key(|(_, c)| (c.fd_at_release, c.job.id.task, c.job.id.index))
             .map(|(i, _)| i)
@@ -630,21 +863,21 @@ impl<'a> Engine<'a> {
             }
         }
         for (id, task) in self.ts.iter() {
-            let tstate = &self.tasks[id.0];
+            let tstate = &self.ws.tasks[id.0];
             if !tstate.exhausted {
                 next = next.min(task.release_of(tstate.next_index));
                 any = true;
             }
         }
-        for &i in &self.active_copies {
-            let copy = &self.copies[i];
+        for &i in &self.ws.active_copies {
+            let copy = &self.ws.copies[i];
             if copy.state == CopyState::Pending && copy.release > self.clock {
                 next = next.min(copy.release);
                 any = true;
             }
         }
-        for &i in &self.open_jobs {
-            let job = &self.jobs[i];
+        for &i in &self.ws.open_jobs {
+            let job = &self.ws.jobs[i];
             if !job.resolved && job.job.deadline > self.clock {
                 next = next.min(job.job.deadline);
                 any = true;
@@ -652,7 +885,7 @@ impl<'a> Engine<'a> {
         }
         for &proc in &ProcId::ALL {
             if let Some(c) = self.running[proc.index()] {
-                next = next.min(self.clock + self.copies[c].remaining);
+                next = next.min(self.clock + self.ws.copies[c].remaining);
                 any = true;
             }
         }
@@ -664,51 +897,52 @@ impl<'a> Engine<'a> {
 
     fn advance_to(&mut self, next: Time) {
         let dt = next - self.clock;
-        let mut completions: Vec<usize> = Vec::new();
+        // At most one copy completes per processor per step.
+        let mut completions = [0usize; 2];
+        let mut completed = 0usize;
         for &proc in &ProcId::ALL {
             if let Some(c) = self.running[proc.index()] {
                 self.extend_busy(proc, self.clock, next);
-                let copy = &mut self.copies[c];
-                self.active_energy[proc.index()] += self
-                    .config
-                    .power
-                    .active_energy_at(dt, copy.speed_permil);
+                let speed = self.ws.copies[c].speed_permil;
+                self.active_energy[proc.index()] += self.config.power.active_energy_at(dt, speed);
+                let copy = &mut self.ws.copies[c];
                 copy.remaining -= dt;
                 if copy.remaining.is_zero() {
-                    completions.push(c);
+                    completions[completed] = c;
+                    completed += 1;
                 }
             }
         }
         self.clock = next;
         // Mark all simultaneous completions done first (so a success does
         // not "cancel" a sibling that also just finished)…
-        for &c in &completions {
-            let faulted = self.sampler.sample(self.copies[c].exec_total);
+        for &c in &completions[..completed] {
+            let faulted = self.sampler.sample(self.ws.copies[c].exec_total);
             if faulted {
                 self.stats.transient_faults += 1;
             }
-            let proc = self.copies[c].proc;
+            let proc = self.ws.copies[c].proc;
             self.running[proc.index()] = None;
             self.close_segment(c, SegmentEnd::Completed);
-            self.copies[c].state = CopyState::Done { faulted };
-            if self.copies[c].kind == CopyKind::Backup {
+            self.ws.copies[c].state = CopyState::Done { faulted };
+            if self.ws.copies[c].kind == CopyKind::Backup {
                 self.stats.backups_completed += 1;
             }
         }
         // …then act on the outcomes.
-        for &c in &completions {
-            let CopyState::Done { faulted } = self.copies[c].state else {
+        for &c in &completions[..completed] {
+            let CopyState::Done { faulted } = self.ws.copies[c].state else {
                 unreachable!("completion not marked done");
             };
             if faulted {
                 continue;
             }
-            let job_idx = self.copies[c].job_entry;
-            if !self.jobs[job_idx].resolved {
+            let job_idx = self.ws.copies[c].job_entry;
+            if !self.ws.jobs[job_idx].resolved {
                 self.resolve(job_idx, JobOutcome::Met, self.clock);
             }
-            if let Some(sib) = self.copies[c].sibling {
-                if self.copies[sib].state == CopyState::Pending {
+            if let Some(sib) = self.ws.copies[c].sibling {
+                if self.ws.copies[sib].state == CopyState::Pending {
                     self.stats.backups_canceled += 1;
                     self.stop_copy(sib, CopyState::Canceled, SegmentEnd::Canceled);
                 }
@@ -717,7 +951,7 @@ impl<'a> Engine<'a> {
     }
 
     fn extend_busy(&mut self, proc: ProcId, from: Time, to: Time) {
-        let intervals = &mut self.busy[proc.index()];
+        let intervals = &mut self.ws.busy[proc.index()];
         match intervals.last_mut() {
             Some(last) if last.1 == from => last.1 = to,
             _ => intervals.push((from, to)),
@@ -725,15 +959,17 @@ impl<'a> Engine<'a> {
     }
 
     fn close_segment(&mut self, c: usize, ended: SegmentEnd) {
-        let copy = &mut self.copies[c];
+        let record = self.config.record_trace;
+        let clock = self.clock;
+        let copy = &mut self.ws.copies[c];
         if let Some(start) = copy.running_since.take() {
-            if start < self.clock {
-                self.trace.segments.push(Segment {
+            if record && start < clock {
+                self.ws.trace.segments.push(Segment {
                     proc: copy.proc,
                     job: copy.job.id,
                     kind: copy.kind,
                     start,
-                    end: self.clock,
+                    end: clock,
                     ended,
                 });
             }
@@ -753,20 +989,22 @@ impl<'a> Engine<'a> {
         for &proc in &ProcId::ALL {
             energy[proc.index()] = self.account_processor(proc, &self.config.power);
         }
-        self.trace
-            .segments
-            .sort_by_key(|s| (s.start, s.proc, s.end));
+        let trace = if self.config.record_trace {
+            // Hand the buffers to the report; the workspace reallocates
+            // them on the next recording run.
+            let mut trace = std::mem::take(&mut self.ws.trace);
+            trace.segments.sort_by_key(|s| (s.start, s.proc, s.end));
+            Some(trace)
+        } else {
+            None
+        };
         SimReport {
             policy: policy_name.to_owned(),
             horizon: self.config.horizon,
             energy,
             stats: self.stats,
             violations: self.violations,
-            trace: if self.config.record_trace {
-                Some(self.trace)
-            } else {
-                None
-            },
+            trace,
         }
     }
 
@@ -776,7 +1014,7 @@ impl<'a> Engine<'a> {
         let end = self.death_time[proc.index()].unwrap_or(self.config.horizon);
         let mut breakdown = EnergyBreakdown::default();
         let mut cursor = Time::ZERO;
-        for &(from, to) in &self.busy[proc.index()] {
+        for &(from, to) in &self.ws.busy[proc.index()] {
             let from = from.min(end);
             let to = to.min(end);
             if from > cursor {
@@ -799,8 +1037,8 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mkss_core::task::Task;
     use crate::fault::PermanentFault;
+    use mkss_core::task::Task;
 
     /// R-pattern static policy: mandatory per deeply-red, mains on
     /// primary, concurrent backups — the MKSS_ST reference, inlined here
@@ -897,14 +1135,17 @@ mod tests {
 
     #[test]
     fn permanent_fault_on_spare_keeps_mains_running() {
-        let mut config = SimConfig::active_only(Time::from_ms(20));
-        config.faults = FaultConfig {
-            permanent: Some(PermanentFault {
-                proc: ProcId::SPARE,
-                at: Time::from_ms(1),
-            }),
-            ..FaultConfig::none()
-        };
+        let config = SimConfig::builder()
+            .horizon(Time::from_ms(20))
+            .active_only()
+            .faults(FaultConfig {
+                permanent: Some(PermanentFault {
+                    proc: ProcId::SPARE,
+                    at: Time::from_ms(1),
+                }),
+                ..FaultConfig::none()
+            })
+            .build();
         let report = simulate(&fig1_set(), &mut StaticRef, &config);
         assert!(report.mk_assured());
         // Spare ran only [0,1): J'11 partial.
@@ -924,14 +1165,17 @@ mod tests {
 
     #[test]
     fn permanent_fault_on_primary_lets_backups_take_over() {
-        let mut config = SimConfig::active_only(Time::from_ms(20));
-        config.faults = FaultConfig {
-            permanent: Some(PermanentFault {
-                proc: ProcId::PRIMARY,
-                at: Time::from_ms(1),
-            }),
-            ..FaultConfig::none()
-        };
+        let config = SimConfig::builder()
+            .horizon(Time::from_ms(20))
+            .active_only()
+            .faults(FaultConfig {
+                permanent: Some(PermanentFault {
+                    proc: ProcId::PRIMARY,
+                    at: Time::from_ms(1),
+                }),
+                ..FaultConfig::none()
+            })
+            .build();
         let report = simulate(&fig1_set(), &mut StaticRef, &config);
         // All mandatory jobs still met via backups on the spare.
         assert!(report.mk_assured());
@@ -945,8 +1189,11 @@ mod tests {
         // but (1,2) tolerates alternating misses… with every job faulted,
         // every job misses and (m,k) is violated — the monitor must say so.
         let ts = TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2).unwrap()]).unwrap();
-        let mut config = SimConfig::active_only(Time::from_ms(40));
-        config.faults = FaultConfig::transient(1000.0, 7);
+        let config = SimConfig::builder()
+            .horizon(Time::from_ms(40))
+            .active_only()
+            .faults(FaultConfig::transient(1000.0, 7))
+            .build();
         let report = simulate(&ts, &mut StaticRef, &config);
         assert!(report.stats.transient_faults > 0);
         assert!(!report.mk_assured());
@@ -958,8 +1205,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ts = fig1_set();
-        let mut config = SimConfig::active_only(Time::from_ms(20));
-        config.faults = FaultConfig::transient(0.05, 99);
+        let config = SimConfig::builder()
+            .horizon(Time::from_ms(20))
+            .active_only()
+            .faults(FaultConfig::transient(0.05, 99))
+            .build();
         let a = simulate(&ts, &mut StaticRef, &config);
         let b = simulate(&ts, &mut StaticRef, &config);
         assert_eq!(a.trace, b.trace);
@@ -992,16 +1242,65 @@ mod tests {
 
     #[test]
     fn dead_processor_consumes_nothing_after_fault() {
-        let mut config = SimConfig::new(Time::from_ms(20));
-        config.faults = FaultConfig {
-            permanent: Some(PermanentFault {
-                proc: ProcId::SPARE,
-                at: Time::from_ms(4),
-            }),
-            ..FaultConfig::none()
-        };
+        let config = SimConfig::builder()
+            .horizon_ms(20)
+            .faults(FaultConfig {
+                permanent: Some(PermanentFault {
+                    proc: ProcId::SPARE,
+                    at: Time::from_ms(4),
+                }),
+                ..FaultConfig::none()
+            })
+            .build();
         let report = simulate(&fig1_set(), &mut StaticRef, &config);
         let spare = report.energy[ProcId::SPARE.index()];
         assert_eq!(spare.busy_time + spare.idle_time, Time::from_ms(4));
+    }
+
+    #[test]
+    fn builder_matches_constructors() {
+        let h = Time::from_ms(123);
+        assert_eq!(SimConfig::builder().horizon(h).build(), SimConfig::new(h));
+        assert_eq!(
+            SimConfig::builder().horizon(h).active_only().build(),
+            SimConfig::active_only(h)
+        );
+        assert_eq!(
+            SimConfig::builder().horizon_ms(123).build(),
+            SimConfig::new(h)
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh() {
+        // Reuse one workspace across differently-shaped runs (trace on
+        // and off, faults on and off, different task sets) and compare
+        // every report against a fresh `simulate` call.
+        let sets = [
+            fig1_set(),
+            TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2).unwrap()]).unwrap(),
+        ];
+        let configs = [
+            SimConfig::active_only(Time::from_ms(20)),
+            SimConfig::new(Time::from_ms(40)),
+            SimConfig::builder()
+                .horizon_ms(40)
+                .faults(FaultConfig::transient(0.5, 3))
+                .record_trace(true)
+                .build(),
+        ];
+        let mut ws = SimWorkspace::new();
+        for _ in 0..2 {
+            for ts in &sets {
+                for config in &configs {
+                    let reused = simulate_in(&mut ws, ts, &mut StaticRef, config);
+                    let fresh = simulate(ts, &mut StaticRef, config);
+                    assert_eq!(reused.stats, fresh.stats);
+                    assert_eq!(reused.violations, fresh.violations);
+                    assert_eq!(reused.trace, fresh.trace);
+                    assert_eq!(reused.energy, fresh.energy);
+                }
+            }
+        }
     }
 }

@@ -52,7 +52,7 @@ pub mod vcd;
 
 /// Commonly used simulator types.
 pub mod prelude {
-    pub use crate::engine::{simulate, SimConfig};
+    pub use crate::engine::{simulate, simulate_in, SimConfig, SimConfigBuilder, SimWorkspace};
     pub use crate::fault::{FaultConfig, PermanentFault, TransientSampler};
     pub use crate::policy::{Policy, ReleaseCtx, ReleaseDecision};
     pub use crate::power::{Energy, EnergyBreakdown, PowerModel};

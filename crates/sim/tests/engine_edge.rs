@@ -55,8 +55,10 @@ fn backup_can_complete_first_and_cancels_the_main() {
         }
     }
     let ts = TaskSet::new(vec![Task::from_ms(20, 20, 4, 1, 2).unwrap()]).unwrap();
-    let mut config = SimConfig::active_only(Time::from_ms(20));
-    config.record_trace = true;
+    let config = SimConfig::builder()
+        .horizon_ms(20)
+        .active_only()
+        .build();
     let report = simulate(&ts, &mut SlowMainEagerBackup, &config);
     assert!(report.mk_assured());
     let trace = report.trace.as_ref().unwrap();
@@ -108,8 +110,10 @@ fn optional_feasibility_boundary_is_inclusive() {
         Task::from_ms(20, 10, 4, 1, 2).unwrap(),
     ])
     .unwrap();
-    let mut config = SimConfig::active_only(Time::from_ms(20));
-    config.record_trace = true;
+    let config = SimConfig::builder()
+        .horizon_ms(20)
+        .active_only()
+        .build();
     let report = simulate(&ts, &mut LateOptional, &config);
     assert_eq!(report.stats.optional_abandoned, 0);
     assert_eq!(report.stats.met, 2);
@@ -157,8 +161,10 @@ fn optional_one_tick_late_is_abandoned() {
         Task::from_ms(20, 10, 4, 1, 2).unwrap(),
     ])
     .unwrap();
-    let mut config = SimConfig::active_only(Time::from_ms(20));
-    config.record_trace = true;
+    let config = SimConfig::builder()
+        .horizon_ms(20)
+        .active_only()
+        .build();
     let report = simulate(&ts, &mut LateOptional, &config);
     assert_eq!(report.stats.optional_abandoned, 1);
     assert_eq!(report.stats.met, 1);
@@ -171,8 +177,10 @@ fn optional_one_tick_late_is_abandoned() {
 #[test]
 fn dvs_scaled_copy_runs_longer_at_lower_energy() {
     let ts = TaskSet::new(vec![Task::from_ms(100, 100, 10, 1, 2).unwrap()]).unwrap();
-    let mut config = SimConfig::active_only(Time::from_ms(200));
-    config.record_trace = true;
+    let config = SimConfig::builder()
+        .horizon_ms(200)
+        .active_only()
+        .build();
     let full = simulate(&ts, &mut Scaled(1000), &config);
     let half = simulate(&ts, &mut Scaled(500), &config);
     assert!(full.mk_assured() && half.mk_assured());
@@ -209,8 +217,11 @@ fn fault_at_time_zero_on_primary() {
         Task::from_ms(15, 15, 8, 1, 2).unwrap(),
     ])
     .unwrap();
-    let mut config = SimConfig::active_only(Time::from_ms(60));
-    config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO);
+    let config = SimConfig::builder()
+        .horizon_ms(60)
+        .active_only()
+        .faults(FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO))
+        .build();
     let report = simulate(
         &ts,
         &mut Place {

@@ -8,7 +8,6 @@
 //! ```
 
 use mkss::prelude::*;
-use mkss_policies::MkssDpDvs;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ts = TaskSet::new(vec![
@@ -44,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compare against the paper's schemes on the same set.
     println!();
     for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Selective] {
-        let mut policy = kind.build(&ts)?;
+        let mut policy = kind.build(&ts, &BuildOptions::default())?;
         let report = simulate(&ts, policy.as_mut(), &config);
         println!(
             "{:>20}: {}",

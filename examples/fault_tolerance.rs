@@ -16,8 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = Time::from_ms(100);
 
     // Scenario 1: permanent fault on the primary at t = 7 ms.
-    let mut config = SimConfig::active_only(horizon);
-    config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::from_ms(7));
+    let config = SimConfig::builder()
+        .horizon(horizon)
+        .active_only()
+        .faults(FaultConfig::permanent(ProcId::PRIMARY, Time::from_ms(7)))
+        .build();
     let mut policy = MkssSelective::new(&ts)?;
     let report = simulate(&ts, &mut policy, &config);
     println!("== permanent fault on the primary at 7ms ==");
@@ -37,8 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Scenario 2: aggressive transient faults (rate 0.05/ms — about 14%
     // per 3ms execution; the paper's evaluation rate is a negligible
     // 1e-6). Backups re-execute faulted mains; (m,k) still holds.
-    let mut config = SimConfig::active_only(horizon);
-    config.faults = FaultConfig::transient(0.05, 42);
+    let config = SimConfig::builder()
+        .horizon(horizon)
+        .active_only()
+        .faults(FaultConfig::transient(0.05, 42))
+        .build();
     let mut policy = MkssSelective::new(&ts)?;
     let report = simulate(&ts, &mut policy, &config);
     println!("\n== transient faults at 0.05/ms ==");
@@ -59,8 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut all_assured = true;
     for at in 0..100 {
         for proc in ProcId::ALL {
-            let mut config = SimConfig::new(horizon);
-            config.faults = FaultConfig::combined(proc, Time::from_ms(at), 0.01, at);
+            let config = SimConfig::builder()
+                .horizon(horizon)
+                .faults(FaultConfig::combined(proc, Time::from_ms(at), 0.01, at))
+                .build();
             let mut policy = MkssSelective::new(&ts)?;
             let report = simulate(&ts, &mut policy, &config);
             worst_missed = worst_missed.max(report.stats.missed);

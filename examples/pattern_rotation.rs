@@ -7,7 +7,6 @@
 //! ```
 
 use mkss::prelude::*;
-use mkss_policies::MkssStRotated;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The deeply-red clusters of these two tasks collide at t = 0:

@@ -43,8 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // MKSS_selective with a primary that never cancels (force the worst
     // case by failing every main copy with transient faults).
     println!("\nworst case: every main copy transient-faults, backups must complete:");
-    let mut config = SimConfig::active_only(Time::from_ms(30));
-    config.faults = FaultConfig::transient(1e6, 1); // every execution faults
+    let config = SimConfig::builder()
+        .horizon_ms(30)
+        .active_only()
+        .faults(FaultConfig::transient(1e6, 1)) // every execution faults
+        .build();
     let report = simulate(&ts, &mut MkssSt::new(), &config);
     print!("{}", report.trace.expect("trace").render_gantt_ms(Time::from_ms(30)));
     println!(

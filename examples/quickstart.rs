@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::active_only(horizon);
 
     for kind in PolicyKind::PAPER {
-        let mut policy = kind.build(&ts)?;
+        let mut policy = kind.build(&ts, &BuildOptions::default())?;
         let report = simulate(&ts, policy.as_mut(), &config);
         println!(
             "\n{}: active energy {} over {horizon}, met {} / missed {}, (m,k) assured: {}",

@@ -8,7 +8,6 @@
 //! ```
 
 use mkss::prelude::*;
-use mkss_sim::metrics::analyze_trace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ts = TaskSet::new(vec![
@@ -19,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::active_only(horizon);
 
     for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Selective] {
-        let mut policy = kind.build(&ts)?;
+        let mut policy = kind.build(&ts, &BuildOptions::default())?;
         let report = simulate(&ts, policy.as_mut(), &config);
         let metrics = analyze_trace(&ts, report.trace.as_ref().expect("trace"));
         println!("== {} ==", report.policy);

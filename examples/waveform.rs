@@ -7,7 +7,6 @@
 //! ```
 
 use mkss::prelude::*;
-use mkss_sim::vcd::render_vcd;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ts = TaskSet::new(vec![

@@ -18,4 +18,10 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== examples build =="
+cargo build --examples
+
+echo "== bench smoke (each benchmark runs once) =="
+cargo bench -p mkss-bench --benches -- --test
+
 echo "CI gate passed."

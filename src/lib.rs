@@ -57,10 +57,13 @@ pub mod prelude {
     pub use mkss_analysis::prelude::*;
     pub use mkss_core::prelude::*;
     pub use mkss_policies::{
-        BackupDelay, BuildPolicyError, DynamicConfig, DynamicPolicy, MainPlacement, MkssDp,
-        MkssSelective, MkssSt, OptionalPlacement, PolicyKind, SelectionRule,
+        BackupDelay, BuildOptions, BuildPolicyError, DynamicConfig, DynamicPolicy, MainPlacement,
+        MkssDp, MkssDpDvs, MkssSelective, MkssSt, MkssStRotated, OptionalPlacement,
+        ParsePolicyKindError, PolicyKind, SelectionRule,
     };
+    pub use mkss_sim::metrics::{analyze_trace, TraceMetrics};
     pub use mkss_sim::prelude::*;
+    pub use mkss_sim::vcd::render_vcd;
     pub use mkss_workload::{
         generate_buckets, Bucket, BucketPlan, Generator, WorkloadConfig,
     };

@@ -45,9 +45,8 @@ proptest! {
 
         // All mains on the primary: the primary's schedule is exactly the
         // mandatory-only FP schedule the analysis models.
-        let mut policy = PolicyKind::DualPriorityPrimary.build(&ts).unwrap();
-        let mut config = SimConfig::active_only(Time::from_ms(400));
-        config.record_trace = true;
+        let mut policy = PolicyKind::DualPriorityPrimary.build(&ts, &BuildOptions::default()).unwrap();
+        let config = SimConfig::builder().horizon_ms(400).active_only().build();
         let sim = simulate(&ts, policy.as_mut(), &config);
         let trace = sim.trace.as_ref().unwrap();
         let done = completions(trace, ProcId::PRIMARY);
@@ -68,23 +67,25 @@ proptest! {
     #[test]
     fn postponed_backups_always_meet_deadlines(seed in 0u64..5_000, util_pct in 15u64..65) {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
-        let mut config = SimConfig::new(Time::from_ms(400));
-        config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO);
+        let config = SimConfig::builder()
+            .horizon_ms(400)
+            .faults(FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO))
+            .build();
         // Static classification (R-pattern) isolates the postponement
         // machinery from dynamic-pattern effects.
-        let mut policy = PolicyKind::SelectiveNoPostpone.build(&ts).unwrap();
+        let mut policy = PolicyKind::SelectiveNoPostpone.build(&ts, &BuildOptions::default()).unwrap();
         let nopost = simulate(&ts, policy.as_mut(), &config);
         prop_assert!(nopost.mk_assured());
 
-        let mut policy = PolicyKind::Selective.build(&ts).unwrap();
+        let mut policy = PolicyKind::Selective.build(&ts, &BuildOptions::default()).unwrap();
         let sel = simulate(&ts, policy.as_mut(), &config);
         prop_assert!(sel.mk_assured(), "violations: {:?} (seed {seed})", sel.violations);
 
         // The per-job extension (static patterns) must be just as safe.
-        let mut policy = PolicyKind::DualPriorityJobTheta.build(&ts).unwrap();
+        let mut policy = PolicyKind::DualPriorityJobTheta.build(&ts, &BuildOptions::default()).unwrap();
         let job = simulate(&ts, policy.as_mut(), &config);
         prop_assert!(job.mk_assured(), "job-theta violations: {:?} (seed {seed})", job.violations);
-        let mut policy = PolicyKind::DualPriorityTheta.build(&ts).unwrap();
+        let mut policy = PolicyKind::DualPriorityTheta.build(&ts, &BuildOptions::default()).unwrap();
         let theta = simulate(&ts, policy.as_mut(), &config);
         prop_assert!(theta.mk_assured(), "dp-theta violations: {:?} (seed {seed})", theta.violations);
     }
@@ -93,9 +94,11 @@ proptest! {
     #[test]
     fn promoted_backups_always_meet_deadlines(seed in 0u64..5_000, util_pct in 15u64..65) {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
-        let mut config = SimConfig::new(Time::from_ms(400));
-        config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO);
-        let mut policy = PolicyKind::DualPriority.build(&ts).unwrap();
+        let config = SimConfig::builder()
+            .horizon_ms(400)
+            .faults(FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO))
+            .build();
+        let mut policy = PolicyKind::DualPriority.build(&ts, &BuildOptions::default()).unwrap();
         let report = simulate(&ts, policy.as_mut(), &config);
         prop_assert!(report.mk_assured(), "violations: {:?} (seed {seed})", report.violations);
     }

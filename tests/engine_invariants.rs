@@ -65,9 +65,8 @@ proptest! {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
         let horizon = Time::from_ms(300);
         for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Greedy, PolicyKind::Selective] {
-            let mut config = SimConfig::active_only(horizon);
-            config.record_trace = true;
-            let mut policy = kind.build(&ts).unwrap();
+            let config = SimConfig::builder().horizon(horizon).active_only().build();
+            let mut policy = kind.build(&ts, &BuildOptions::default()).unwrap();
             let report = simulate(&ts, policy.as_mut(), &config);
             check_trace(&report, horizon);
             check_resolution_order(&report);
@@ -95,9 +94,11 @@ proptest! {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
         let horizon = Time::from_ms(300);
         let proc = if on_primary { ProcId::PRIMARY } else { ProcId::SPARE };
-        let mut config = SimConfig::active_only(horizon);
-        config.faults = FaultConfig::combined(proc, Time::from_ms(fault_ms), 0.005, seed);
-        config.record_trace = true;
+        let config = SimConfig::builder()
+            .horizon(horizon)
+            .active_only()
+            .faults(FaultConfig::combined(proc, Time::from_ms(fault_ms), 0.005, seed))
+            .build();
         let mut policy = MkssSelective::new(&ts).unwrap();
         let report = simulate(&ts, &mut policy, &config);
         check_trace(&report, horizon);

@@ -228,10 +228,13 @@ fn fig5_postponed_backups_meet_deadlines_in_simulation() {
         Task::from_ms(15, 15, 8, 1, 2).unwrap(),
     ])
     .unwrap();
-    let mut config = SimConfig::active_only(Time::from_ms(30));
     // Deterministically fault only MAIN copies: easiest is a permanent
     // fault on the primary at t=0, so only backups exist.
-    config.faults = FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO);
+    let config = SimConfig::builder()
+        .horizon_ms(30)
+        .active_only()
+        .faults(FaultConfig::permanent(ProcId::PRIMARY, Time::ZERO))
+        .build();
     let report = simulate(&ts, &mut MkssSelective::new(&ts).unwrap(), &config);
     assert!(report.mk_assured());
     // All mandatory jobs met via backups alone.

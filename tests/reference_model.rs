@@ -339,10 +339,13 @@ fn engine_run(
     horizon_ms: u64,
     fault: Option<(usize, u64)>,
 ) -> SimReport {
-    let mut config = SimConfig::active_only(Time::from_ms(horizon_ms));
+    let mut builder = SimConfig::builder()
+        .horizon_ms(horizon_ms)
+        .active_only();
     if let Some((proc, at)) = fault {
-        config.faults = FaultConfig::permanent(ProcId(proc), Time::from_ms(at));
+        builder = builder.faults(FaultConfig::permanent(ProcId(proc), Time::from_ms(at)));
     }
+    let config = builder.build();
     match policy {
         RefPolicy::Static => simulate(ts, &mut MkssSt::new(), &config),
         RefPolicy::DualPriority => simulate(ts, &mut MkssDp::new(ts).unwrap(), &config),

@@ -57,8 +57,10 @@ proptest! {
         let horizon = ts.hyperperiod() * 4;
         let at = Time::from_ticks(horizon.ticks() * fault_pct / 100);
         let proc = if on_primary { ProcId::PRIMARY } else { ProcId::SPARE };
-        let mut config = SimConfig::new(horizon);
-        config.faults = FaultConfig::permanent(proc, at);
+        let config = SimConfig::builder()
+            .horizon(horizon)
+            .faults(FaultConfig::permanent(proc, at))
+            .build();
         let mut policy = MkssStRotated::new(assignment.patterns.clone());
         let report = simulate(&ts, &mut policy, &config);
         prop_assert!(

@@ -27,7 +27,7 @@ proptest! {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
         let config = SimConfig::new(Time::from_ms(500));
         for kind in PolicyKind::ALL {
-            let mut policy = kind.build(&ts).unwrap();
+            let mut policy = kind.build(&ts, &BuildOptions::default()).unwrap();
             let report = simulate(&ts, policy.as_mut(), &config);
             prop_assert!(
                 report.mk_assured(),
@@ -49,10 +49,12 @@ proptest! {
     ) {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
         let proc = if on_primary { ProcId::PRIMARY } else { ProcId::SPARE };
-        let mut config = SimConfig::new(Time::from_ms(500));
-        config.faults = FaultConfig::permanent(proc, Time::from_ms(fault_ms));
+        let config = SimConfig::builder()
+            .horizon_ms(500)
+            .faults(FaultConfig::permanent(proc, Time::from_ms(fault_ms)))
+            .build();
         for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Selective] {
-            let mut policy = kind.build(&ts).unwrap();
+            let mut policy = kind.build(&ts, &BuildOptions::default()).unwrap();
             let report = simulate(&ts, policy.as_mut(), &config);
             prop_assert!(
                 report.mk_assured(),
@@ -68,8 +70,10 @@ proptest! {
     #[test]
     fn transients_recovered_by_backups(seed in 0u64..2_000, util_pct in 15u64..50) {
         let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
-        let mut config = SimConfig::new(Time::from_ms(400));
-        config.faults = FaultConfig::transient(0.002, seed);
+        let config = SimConfig::builder()
+            .horizon_ms(400)
+            .faults(FaultConfig::transient(0.002, seed))
+            .build();
         let mut policy = MkssSelective::new(&ts).unwrap();
         let report = simulate(&ts, &mut policy, &config);
         // A mandatory job only misses if BOTH copies fault (probability
@@ -83,8 +87,10 @@ proptest! {
     #[test]
     fn runs_are_deterministic(seed in 0u64..5_000) {
         let Some(ts) = schedulable_set(seed, 40) else { return Ok(()); };
-        let mut config = SimConfig::new(Time::from_ms(300));
-        config.faults = FaultConfig::combined(ProcId::SPARE, Time::from_ms(123), 0.001, seed);
+        let config = SimConfig::builder()
+            .horizon_ms(300)
+            .faults(FaultConfig::combined(ProcId::SPARE, Time::from_ms(123), 0.001, seed))
+            .build();
         let run = |ts: &TaskSet| {
             let mut policy = MkssSelective::new(ts).unwrap();
             let r = simulate(ts, &mut policy, &config);

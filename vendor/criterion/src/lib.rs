@@ -101,12 +101,24 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Upstream-compatible `--test` mode: `cargo bench -- --test` runs every
+/// benchmark exactly once as a smoke test instead of timing it.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let sample_size = if test_mode() { 1 } else { sample_size };
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
     };
     f(&mut bencher);
+    if test_mode() {
+        println!("{id:<40} ok (test mode)");
+        return;
+    }
     if bencher.samples.is_empty() {
         println!("{id:<40} (no samples: bencher.iter was not called)");
         return;
