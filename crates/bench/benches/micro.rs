@@ -11,10 +11,12 @@ use mkss_core::history::{JobOutcome, MkHistory};
 use mkss_core::mk::{MkConstraint, Pattern};
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
+use mkss_obs::NoopRecorder;
 use mkss_policies::{BuildOptions, PolicyKind};
 use mkss_sim::engine::{simulate, simulate_in, SimConfig, SimWorkspace};
 use mkss_workload::{Generator, WorkloadConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn sample_set() -> TaskSet {
     Generator::new(WorkloadConfig::paper(), 12345)
@@ -171,6 +173,21 @@ fn bench_sim_hot_path(c: &mut Criterion) {
         group.bench_function(format!("reuse/{}", kind.id()).as_str(), |b| {
             let mut policy = kind.build(&ts, &opts).unwrap();
             let mut ws = SimWorkspace::new();
+            b.iter(|| {
+                black_box(simulate_in(
+                    &mut ws,
+                    black_box(&ts),
+                    policy.as_mut(),
+                    &config,
+                ))
+            })
+        });
+        // Same reused-workspace run with a NoopRecorder attached: the
+        // observability hooks must cost nothing when nobody listens, so
+        // this arm should match `reuse/*` within noise.
+        group.bench_function(format!("reuse_noop_recorder/{}", kind.id()).as_str(), |b| {
+            let mut policy = kind.build(&ts, &opts).unwrap();
+            let mut ws = SimWorkspace::with_recorder(Arc::new(NoopRecorder));
             b.iter(|| {
                 black_box(simulate_in(
                     &mut ws,

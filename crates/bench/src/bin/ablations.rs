@@ -8,19 +8,27 @@
 //!
 //! ```text
 //! ablations [--sets N] [--horizon-ms MS] [--seed S] [--scenario ...]
-//!           [--jobs N]
+//!           [--jobs N] [--metrics-out FILE] [--progress]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use mkss_bench::experiment::{run_experiment_jobs, ExperimentConfig, Scenario};
+use mkss_bench::experiment::{
+    metrics_doc, run_experiment_observed, ExperimentConfig, HarnessObs, Scenario, StageTimes,
+};
 use mkss_bench::table;
+use mkss_core::par;
 use mkss_core::time::Time;
+use mkss_obs::{Registry, Reporter};
 use mkss_policies::PolicyKind;
 
 fn main() -> ExitCode {
+    let reporter = Arc::new(Reporter::stderr());
     let mut template = ExperimentConfig::fig6(Scenario::NoFault);
     let mut jobs = 0usize;
+    let mut metrics_out: Option<String> = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -40,10 +48,13 @@ fn main() -> ExitCode {
                 "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--scenario" => template.scenario = value()?.parse().map_err(|e| format!("{e}"))?,
                 "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+                "--metrics-out" => metrics_out = Some(value()?),
+                "--progress" => progress = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: ablations [--sets N] [--horizon-ms MS] [--seed S] \
-                         [--scenario no-fault|permanent|combined] [--jobs N]"
+                         [--scenario no-fault|permanent|combined] [--jobs N] \
+                         [--metrics-out FILE] [--progress]"
                     );
                     std::process::exit(0);
                 }
@@ -52,7 +63,7 @@ fn main() -> ExitCode {
             Ok(())
         })();
         if let Err(e) = result {
-            eprintln!("error: {e}");
+            reporter.line(&format!("error: {e}"));
             return ExitCode::FAILURE;
         }
     }
@@ -103,13 +114,39 @@ fn main() -> ExitCode {
         ),
     ];
 
-    for (title, policies) in studies {
+    let registry = metrics_out
+        .as_ref()
+        .map(|_| Arc::new(Registry::new(par::effective_jobs(jobs))));
+    let mut stage_totals = StageTimes::default();
+    for (number, (title, policies)) in studies.into_iter().enumerate() {
         println!("== {title} ==");
         let mut config = template.clone();
         config.policies = policies;
-        let result = run_experiment_jobs(&config, jobs);
-        eprintln!("{title}: {}", result.stats.summary());
+        let obs = HarnessObs {
+            registry: registry.clone(),
+            progress: progress.then(|| Arc::clone(&reporter)),
+            label: format!("ablation {}", number + 1),
+        };
+        let result = run_experiment_observed(&config, jobs, &obs);
+        reporter.line(&format!("{title}: {}", result.stats.summary()));
+        stage_totals.absorb(&result.stats.stages);
         println!("{}", table::render(&result));
+    }
+    if let (Some(path), Some(registry)) = (&metrics_out, &registry) {
+        let doc = metrics_doc(
+            "ablations",
+            registry,
+            &stage_totals,
+            &[
+                ("studies", "6".to_string()),
+                ("jobs", par::effective_jobs(jobs).to_string()),
+            ],
+        );
+        if let Err(e) = std::fs::write(path, doc.to_json()) {
+            reporter.line(&format!("error writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        reporter.line(&format!("wrote {path}"));
     }
     ExitCode::SUCCESS
 }

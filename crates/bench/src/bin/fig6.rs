@@ -6,16 +6,20 @@
 //! fig6 [--scenario no-fault|permanent|combined|all]
 //!      [--sets N] [--from U] [--to U] [--horizon-ms MS]
 //!      [--seed S] [--policies st,dp,selective,...] [--jobs N]
-//!      [--json FILE]
+//!      [--json FILE] [--metrics-out FILE] [--progress]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mkss_bench::experiment::{
-    run_experiment_jobs, run_replicated_jobs, ExperimentConfig, RunStats, Scenario,
+    metrics_doc, run_experiment_observed, run_replicated_observed, ExperimentConfig, HarnessObs,
+    RunStats, Scenario, StageTimes,
 };
 use mkss_bench::table;
+use mkss_core::par;
 use mkss_core::time::Time;
+use mkss_obs::{Registry, Reporter};
 use mkss_policies::PolicyKind;
 
 struct Args {
@@ -23,27 +27,30 @@ struct Args {
     config_template: ExperimentConfig,
     json: Option<String>,
     html: Option<String>,
+    metrics_out: Option<String>,
+    progress: bool,
     replications: u32,
     jobs: usize,
 }
 
 /// Stderr report of one run's counters, including warnings that would
-/// otherwise hide inside the serialized stats.
-fn report_stats(stats: &RunStats) {
-    eprintln!("  {}", stats.summary());
+/// otherwise hide inside the serialized stats. All lines go through the
+/// single-writer reporter so they cannot interleave with worker output.
+fn report_stats(reporter: &Reporter, stats: &RunStats) {
+    reporter.line(&format!("  {}", stats.summary()));
     for bucket in &stats.buckets {
         if let Some(error) = &bucket.first_build_error {
-            eprintln!(
+            reporter.line(&format!(
                 "  warning: bucket {:.2} dropped {} set(s) on build errors (first: {error})",
                 bucket.midpoint, bucket.skipped_build_errors
-            );
+            ));
         }
     }
     if stats.empty_buckets > 0 {
-        eprintln!(
+        reporter.line(&format!(
             "  warning: {} of {} buckets produced no data and were omitted",
             stats.empty_buckets, stats.buckets_planned
-        );
+        ));
     }
 }
 
@@ -52,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
     let mut template = ExperimentConfig::fig6(Scenario::NoFault);
     let mut json = None;
     let mut html = None;
+    let mut metrics_out = None;
+    let mut progress = false;
     let mut replications = 1u32;
     let mut jobs = 0usize;
     let mut args = std::env::args().skip(1);
@@ -100,6 +109,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => json = Some(value()?),
             "--html" => html = Some(value()?),
+            "--metrics-out" => metrics_out = Some(value()?),
+            "--progress" => progress = true,
             "--replications" => {
                 replications = value()?
                     .parse()
@@ -114,9 +125,13 @@ fn parse_args() -> Result<Args, String> {
                     "usage: fig6 [--scenario no-fault|permanent|combined|all] [--sets N] \
                      [--from U] [--to U] [--horizon-ms MS] [--seed S] \
                      [--policies st,dp,selective,...] [--fault-window LO..HI] \
-                     [--replications N] [--jobs N] [--json FILE] [--html FILE]\n\
+                     [--replications N] [--jobs N] [--json FILE] [--html FILE] \
+                     [--metrics-out FILE] [--progress]\n\
                      --jobs N bounds the worker threads (0 = all cores, the default);\n\
-                     results are identical for every value."
+                     results are identical for every value.\n\
+                     --metrics-out FILE records engine event counters (backups\n\
+                     canceled/postponed, faults, …) and per-stage wall times as JSON.\n\
+                     --progress streams live per-scenario completion lines on stderr."
                 );
                 std::process::exit(0);
             }
@@ -128,6 +143,8 @@ fn parse_args() -> Result<Args, String> {
         config_template: template,
         json,
         html,
+        metrics_out,
+        progress,
         replications,
         jobs,
     })
@@ -141,49 +158,78 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let reporter = Arc::new(Reporter::stderr());
+    let registry = args
+        .metrics_out
+        .as_ref()
+        .map(|_| Arc::new(Registry::new(par::effective_jobs(args.jobs))));
+    let mut stage_totals = StageTimes::default();
     let mut all_results = Vec::new();
     for scenario in &args.scenarios {
         let mut config = args.config_template.clone();
         config.scenario = *scenario;
-        eprintln!(
+        reporter.line(&format!(
             "running {} ({} buckets x {} sets, horizon {})…",
             scenario.panel(),
             ((config.plan.to - config.plan.from) / config.plan.width).round() as usize,
             config.plan.sets_per_bucket,
             config.horizon,
-        );
+        ));
+        let obs = HarnessObs {
+            registry: registry.clone(),
+            progress: args.progress.then(|| Arc::clone(&reporter)),
+            label: format!("fig6 {}", scenario.id()),
+        };
         if args.replications > 1 {
-            let replicated = run_replicated_jobs(&config, args.replications, args.jobs);
-            report_stats(&replicated.stats);
+            let replicated = run_replicated_observed(&config, args.replications, args.jobs, &obs);
+            report_stats(&reporter, &replicated.stats);
             println!("{}", table::render_replicated(&replicated));
         }
-        let result = run_experiment_jobs(&config, args.jobs);
-        report_stats(&result.stats);
+        let result = run_experiment_observed(&config, args.jobs, &obs);
+        report_stats(&reporter, &result.stats);
+        stage_totals.absorb(&result.stats.stages);
         println!("{}", table::render(&result));
         all_results.push(result);
     }
     if let Some(path) = args.html {
         if let Err(e) = std::fs::write(&path, mkss_bench::report_html::render_report(&all_results))
         {
-            eprintln!("error writing {path}: {e}");
+            reporter.line(&format!("error writing {path}: {e}"));
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {path}");
+        reporter.line(&format!("wrote {path}"));
     }
     if let Some(path) = args.json {
         match serde_json::to_string_pretty(&all_results) {
             Ok(body) => {
                 if let Err(e) = std::fs::write(&path, body) {
-                    eprintln!("error writing {path}: {e}");
+                    reporter.line(&format!("error writing {path}: {e}"));
                     return ExitCode::FAILURE;
                 }
-                eprintln!("wrote {path}");
+                reporter.line(&format!("wrote {path}"));
             }
             Err(e) => {
-                eprintln!("error serializing results: {e}");
+                reporter.line(&format!("error serializing results: {e}"));
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+        let scenario_ids: Vec<&str> = args.scenarios.iter().map(|s| s.id()).collect();
+        let doc = metrics_doc(
+            "fig6",
+            registry,
+            &stage_totals,
+            &[
+                ("scenarios", scenario_ids.join(",")),
+                ("jobs", par::effective_jobs(args.jobs).to_string()),
+            ],
+        );
+        if let Err(e) = std::fs::write(path, doc.to_json()) {
+            reporter.line(&format!("error writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        reporter.line(&format!("wrote {path}"));
     }
     ExitCode::SUCCESS
 }

@@ -6,16 +6,22 @@
 //!
 //! ```text
 //! schedulability [--samples N] [--from U] [--to U] [--seed S] [--jobs N]
+//!                [--metrics-out FILE] [--progress]
 //! ```
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
 
-use mkss_bench::sched::{render, schedulability_experiment_jobs, SchedConfig};
+use mkss_bench::sched::{render, schedulability_experiment_observed, SchedConfig};
+use mkss_core::par;
+use mkss_obs::{MetricsDoc, MetricsSnapshot, Reporter, Stopwatch};
 
 fn main() -> ExitCode {
+    let reporter = Arc::new(Reporter::stderr());
     let mut config = SchedConfig::default();
     let mut jobs = 0usize;
+    let mut metrics_out: Option<String> = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -32,10 +38,12 @@ fn main() -> ExitCode {
                 "--to" => config.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
                 "--seed" => config.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+                "--metrics-out" => metrics_out = Some(value()?),
+                "--progress" => progress = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: schedulability [--samples N] [--from U] [--to U] [--seed S] \
-                         [--jobs N]"
+                         [--jobs N] [--metrics-out FILE] [--progress]"
                     );
                     std::process::exit(0);
                 }
@@ -44,19 +52,35 @@ fn main() -> ExitCode {
             Ok(())
         })();
         if let Err(e) = result {
-            eprintln!("error: {e}");
+            reporter.line(&format!("error: {e}"));
             return ExitCode::FAILURE;
         }
     }
-    let start = Instant::now();
-    let rows = schedulability_experiment_jobs(&config, jobs);
+    let watch = Stopwatch::start();
+    let rows = schedulability_experiment_observed(&config, jobs, progress.then_some(&reporter));
+    let analyze_ms = watch.elapsed_ms();
     let samples: u64 = rows.iter().map(|r| u64::from(r.samples)).sum();
-    eprintln!(
+    reporter.line(&format!(
         "{} buckets, {} samples in {:.1} ms",
         rows.len(),
         samples,
-        start.elapsed().as_secs_f64() * 1e3
-    );
+        analyze_ms
+    ));
     print!("{}", render(&rows));
+    if let Some(path) = &metrics_out {
+        // No simulation runs here, so the engine-event snapshot is empty;
+        // the document still records the analysis wall time and scale.
+        let mut doc = MetricsDoc::new(MetricsSnapshot::empty());
+        doc.push_meta("binary", "schedulability");
+        doc.push_meta("buckets", rows.len().to_string());
+        doc.push_meta("samples", samples.to_string());
+        doc.push_meta("jobs", par::effective_jobs(jobs).to_string());
+        doc.push_stage("analyze_ms", analyze_ms);
+        if let Err(e) = std::fs::write(path, doc.to_json()) {
+            reporter.line(&format!("error writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        reporter.line(&format!("wrote {path}"));
+    }
     ExitCode::SUCCESS
 }

@@ -7,12 +7,18 @@
 //!
 //! ```text
 //! sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N]
+//!             [--metrics-out FILE] [--progress]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use mkss_bench::experiment::{run_experiment_jobs, ExperimentConfig, Scenario};
+use mkss_bench::experiment::{
+    metrics_doc, run_experiment_observed, ExperimentConfig, HarnessObs, Scenario, StageTimes,
+};
+use mkss_core::par;
 use mkss_core::time::Time;
+use mkss_obs::{Registry, Reporter};
 use mkss_policies::PolicyKind;
 
 fn base_config() -> ExperimentConfig {
@@ -24,9 +30,24 @@ fn base_config() -> ExperimentConfig {
     cfg
 }
 
-fn report_line(cfg: &ExperimentConfig, jobs: usize, label: &str) {
-    let result = run_experiment_jobs(cfg, jobs);
-    eprintln!("{label}: {}", result.stats.summary());
+/// Shared observability context of one sensitivity sweep.
+struct Obs {
+    reporter: Arc<Reporter>,
+    registry: Option<Arc<Registry>>,
+    progress: bool,
+    stage_totals: StageTimes,
+}
+
+fn report_line(cfg: &ExperimentConfig, jobs: usize, label: &str, obs: &mut Obs) {
+    let harness_obs = HarnessObs {
+        registry: obs.registry.clone(),
+        progress: obs.progress.then(|| Arc::clone(&obs.reporter)),
+        label: label.to_string(),
+    };
+    let result = run_experiment_observed(cfg, jobs, &harness_obs);
+    obs.reporter
+        .line(&format!("{label}: {}", result.stats.summary()));
+    obs.stage_totals.absorb(&result.stats.stages);
     println!(
         "{label:>22}: dp {:.4}  selective {:.4}  (violations {})",
         result.mean_normalized(PolicyKind::DualPriority),
@@ -36,8 +57,11 @@ fn report_line(cfg: &ExperimentConfig, jobs: usize, label: &str) {
 }
 
 fn main() -> ExitCode {
+    let reporter = Arc::new(Reporter::stderr());
     let mut template = base_config();
     let mut jobs = 0usize;
+    let mut metrics_out: Option<String> = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -56,9 +80,12 @@ fn main() -> ExitCode {
                 }
                 "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+                "--metrics-out" => metrics_out = Some(value()?),
+                "--progress" => progress = true,
                 "--help" | "-h" => {
                     println!(
-                        "usage: sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N]"
+                        "usage: sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N] \
+                         [--metrics-out FILE] [--progress]"
                     );
                     std::process::exit(0);
                 }
@@ -67,23 +94,38 @@ fn main() -> ExitCode {
             Ok(())
         })();
         if let Err(e) = result {
-            eprintln!("error: {e}");
+            reporter.line(&format!("error: {e}"));
             return ExitCode::FAILURE;
         }
     }
+
+    let registry = metrics_out
+        .as_ref()
+        .map(|_| Arc::new(Registry::new(par::effective_jobs(jobs))));
+    let mut obs = Obs {
+        reporter: Arc::clone(&reporter),
+        registry: registry.clone(),
+        progress,
+        stage_totals: StageTimes::default(),
+    };
 
     println!("== sensitivity: DPD break-even time T_be (idle power 0.1) ==");
     for tbe_us in [100u64, 500, 1_000, 5_000, 20_000] {
         let mut cfg = template.clone();
         cfg.power.t_be = Time::from_us(tbe_us);
-        report_line(&cfg, jobs, &format!("T_be = {}", Time::from_us(tbe_us)));
+        report_line(
+            &cfg,
+            jobs,
+            &format!("T_be = {}", Time::from_us(tbe_us)),
+            &mut obs,
+        );
     }
 
     println!("\n== sensitivity: idle (leakage) power, fraction of P_act ==");
     for p_idle in [0.0, 0.05, 0.1, 0.3, 1.0] {
         let mut cfg = template.clone();
         cfg.power.p_idle = p_idle;
-        report_line(&cfg, jobs, &format!("p_idle = {p_idle}"));
+        report_line(&cfg, jobs, &format!("p_idle = {p_idle}"), &mut obs);
     }
 
     println!("\n== sensitivity: transient fault rate (permanent+transient scenario) ==");
@@ -91,8 +133,24 @@ fn main() -> ExitCode {
         let mut cfg = template.clone();
         cfg.scenario = Scenario::Combined;
         cfg.transient_rate_per_ms = rate;
-        report_line(&cfg, jobs, &format!("λ = {rate}/ms"));
+        report_line(&cfg, jobs, &format!("λ = {rate}/ms"), &mut obs);
     }
 
+    if let (Some(path), Some(registry)) = (&metrics_out, &registry) {
+        let doc = metrics_doc(
+            "sensitivity",
+            registry,
+            &obs.stage_totals,
+            &[
+                ("knobs", "t_be,p_idle,transient_rate".to_string()),
+                ("jobs", par::effective_jobs(jobs).to_string()),
+            ],
+        );
+        if let Err(e) = std::fs::write(path, doc.to_json()) {
+            reporter.line(&format!("error writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        reporter.line(&format!("wrote {path}"));
+    }
     ExitCode::SUCCESS
 }

@@ -10,8 +10,10 @@
 use std::process::ExitCode;
 
 use mkss_bench::perf::{measure, SimBenchConfig};
+use mkss_obs::Reporter;
 
 fn main() -> ExitCode {
+    let reporter = Reporter::stderr();
     let mut config = SimBenchConfig::default();
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -44,41 +46,41 @@ fn main() -> ExitCode {
             Ok(())
         })();
         if let Err(e) = result {
-            eprintln!("error: {e}");
+            reporter.line(&format!("error: {e}"));
             return ExitCode::FAILURE;
         }
     }
 
     let report = measure(&config);
-    eprintln!(
+    reporter.line(&format!(
         "{} simulations, {} released jobs per rep",
         report.simulations, report.released_jobs
-    );
-    eprintln!(
+    ));
+    reporter.line(&format!(
         "fresh: {:8.1} ms  {:8.1} sims/s  {:10.0} jobs/s",
         report.fresh.wall_ms, report.fresh.sims_per_second, report.fresh.jobs_per_second
-    );
-    eprintln!(
+    ));
+    reporter.line(&format!(
         "reuse: {:8.1} ms  {:8.1} sims/s  {:10.0} jobs/s  ({:.2}x)",
         report.reuse.wall_ms,
         report.reuse.sims_per_second,
         report.reuse.jobs_per_second,
         report.reuse_speedup()
-    );
+    ));
     let json = match serde_json::to_string_pretty(&report) {
         Ok(json) => json,
         Err(e) => {
-            eprintln!("error: serializing report: {e}");
+            reporter.line(&format!("error: serializing report: {e}"));
             return ExitCode::FAILURE;
         }
     };
     match out {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, json + "\n") {
-                eprintln!("error: writing {path}: {e}");
+                reporter.line(&format!("error: writing {path}: {e}"));
                 return ExitCode::FAILURE;
             }
-            eprintln!("wrote {path}");
+            reporter.line(&format!("wrote {path}"));
         }
         None => println!("{json}"),
     }

@@ -3,11 +3,14 @@
 //! `MKSS_ST`.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mkss_core::par;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
+use mkss_obs::{Recorder, Registry, Reporter, Stopwatch};
 use mkss_policies::{BuildOptions, PolicyKind};
 use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
 use mkss_sim::fault::FaultConfig;
@@ -197,6 +200,86 @@ pub struct BucketStats {
     pub first_build_error: Option<String>,
 }
 
+/// Wall time of the harness pipeline stages, summed across workers (so
+/// under `--jobs > 1` these are CPU-time-like totals, not elapsed time).
+/// Machine-dependent; zeroed by [`RunStats::strip_timing`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimes {
+    /// Workload generation (bucket filling).
+    pub generate_ms: f64,
+    /// Policy construction (analysis: response times, promotion, θ).
+    pub build_ms: f64,
+    /// Simulation proper (every set × policy).
+    pub simulate_ms: f64,
+    /// Folding per-set outcomes into bucket rows and stats.
+    pub fold_ms: f64,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total_ms(&self) -> f64 {
+        self.generate_ms + self.build_ms + self.simulate_ms + self.fold_ms
+    }
+
+    /// Add another run's stage times (multi-scenario/replication totals).
+    pub fn absorb(&mut self, other: &StageTimes) {
+        self.generate_ms += other.generate_ms;
+        self.build_ms += other.build_ms;
+        self.simulate_ms += other.simulate_ms;
+        self.fold_ms += other.fold_ms;
+    }
+}
+
+/// Observability wiring for an observed harness run: an optional engine
+/// event registry and an optional live progress reporter. The default
+/// (`HarnessObs::none()`) records nothing and reports nothing, leaving
+/// the hot path untouched.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessObs {
+    /// Sink for engine event counters/histograms. Size it to the worker
+    /// count (`Registry::new(par::effective_jobs(jobs))`) for a
+    /// contention-free shard per worker.
+    pub registry: Option<Arc<Registry>>,
+    /// Live progress lines on this single-writer reporter (never
+    /// interleaves across workers).
+    pub progress: Option<Arc<Reporter>>,
+    /// Label prefixed to progress lines (e.g. the scenario id).
+    pub label: String,
+}
+
+impl HarnessObs {
+    /// No recording, no progress output.
+    pub fn none() -> HarnessObs {
+        HarnessObs::default()
+    }
+
+    /// True when neither a registry nor a reporter is attached.
+    pub fn is_off(&self) -> bool {
+        self.registry.is_none() && self.progress.is_none()
+    }
+}
+
+/// Assembles the standard `--metrics-out` document shared by the bench
+/// binaries: the registry snapshot, `binary` plus caller metadata, and
+/// the four harness stage wall-times.
+pub fn metrics_doc(
+    binary: &str,
+    registry: &Registry,
+    stages: &StageTimes,
+    meta: &[(&str, String)],
+) -> mkss_obs::MetricsDoc {
+    let mut doc = mkss_obs::MetricsDoc::new(registry.snapshot());
+    doc.push_meta("binary", binary);
+    for (key, value) in meta {
+        doc.push_meta(key, value.clone());
+    }
+    doc.push_stage("generate_ms", stages.generate_ms);
+    doc.push_stage("build_ms", stages.build_ms);
+    doc.push_stage("simulate_ms", stages.simulate_ms);
+    doc.push_stage("fold_ms", stages.fold_ms);
+    doc
+}
+
 /// Observability counters of one [`run_experiment_jobs`] call, serialized
 /// alongside the results. Timing fields (and the worker count) depend on
 /// the machine and scheduling; everything else is deterministic.
@@ -223,6 +306,10 @@ pub struct RunStats {
     pub skipped_zero_reference: u64,
     /// Total (m,k)-violations per policy across all buckets.
     pub violations: BTreeMap<PolicyKind, u64>,
+    /// Per-stage wall time (generate / build / simulate / fold), summed
+    /// across workers. Absent in older serialized results.
+    #[serde(default)]
+    pub stages: StageTimes,
     /// Per-bucket breakdown (every planned bucket, empty ones included).
     pub buckets: Vec<BucketStats>,
 }
@@ -236,6 +323,7 @@ impl RunStats {
         self.jobs = 0;
         self.wall_ms = 0.0;
         self.sims_per_second = 0.0;
+        self.stages = StageTimes::default();
         for bucket in &mut self.buckets {
             bucket.wall_ms = 0.0;
         }
@@ -269,6 +357,7 @@ impl RunStats {
         for (&kind, &count) in &other.violations {
             *self.violations.entry(kind).or_default() += count;
         }
+        self.stages.absorb(&other.stages);
         self.buckets.extend(other.buckets.iter().cloned());
     }
 }
@@ -366,8 +455,25 @@ struct BucketAccumulator {
 /// energy are skipped and counted in [`RunStats`]. Buckets that end up
 /// with no surviving sets are omitted from [`ExperimentResult::buckets`].
 pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> ExperimentResult {
+    run_experiment_observed(config, jobs, &HarnessObs::none())
+}
+
+/// [`run_experiment_jobs`] with observability attached: engine events go
+/// to `obs.registry` (if any), live progress lines to `obs.progress`, and
+/// per-stage wall times land in [`RunStats::stages`] either way.
+///
+/// Recording changes **nothing** about the results: counters aggregate
+/// commutatively, so even the registry totals are identical for every
+/// `jobs` value.
+pub fn run_experiment_observed(
+    config: &ExperimentConfig,
+    jobs: usize,
+    obs: &HarnessObs,
+) -> ExperimentResult {
     let run_start = Instant::now();
+    let generate_watch = Stopwatch::start();
     let buckets = generate_buckets_jobs(config.workload, config.plan, config.seed, jobs);
+    let generate_ms = generate_watch.elapsed_ms();
     let mut policies = config.policies.clone();
     if !policies.contains(&PolicyKind::Static) {
         policies.push(PolicyKind::Static);
@@ -381,20 +487,58 @@ pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> Experiment
             work.push((bucket_index, work.len() as u64, ts));
         }
     }
-    let outcomes = par::map_indexed(jobs, &work, |_, &(bucket_index, set_index, ts)| {
+    // One boxed handle per registry shard, built up front so the hot
+    // closure only clones `Arc`s (no per-set allocation).
+    let handles: Vec<Arc<dyn Recorder>> = match &obs.registry {
+        Some(registry) => (0..registry.shard_count())
+            .map(|shard| Arc::new(registry.handle_at(shard)) as Arc<dyn Recorder>)
+            .collect(),
+        None => Vec::new(),
+    };
+    let total_sets = work.len() as u64;
+    let progress_step = (total_sets / 20).max(1);
+    let completed = AtomicU64::new(0);
+    let label_prefix = if obs.label.is_empty() {
+        String::new()
+    } else {
+        format!("{}: ", obs.label)
+    };
+    let outcomes = par::map_indexed(jobs, &work, |index, &(bucket_index, set_index, ts)| {
         let set_start = Instant::now();
-        let outcome = simulate_set(ts, &policies, config, config.fault_plan(set_index));
+        let recorder = if handles.is_empty() {
+            None
+        } else {
+            Some(&handles[index % handles.len()])
+        };
+        let (outcome, timing) = simulate_set(
+            ts,
+            &policies,
+            config,
+            config.fault_plan(set_index),
+            recorder,
+        );
         let elapsed_ms = set_start.elapsed().as_secs_f64() * 1e3;
-        (bucket_index, outcome, elapsed_ms)
+        if let Some(reporter) = &obs.progress {
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if done.is_multiple_of(progress_step) || done == total_sets {
+                reporter.line(&format!("{label_prefix}{done}/{total_sets} sets simulated"));
+            }
+        }
+        (bucket_index, outcome, elapsed_ms, timing)
     });
 
     // Fold in work order — the summation order (and therefore every
     // float result) matches the serial loop exactly.
+    let fold_watch = Stopwatch::start();
+    let mut stage_build_ms = 0.0;
+    let mut stage_simulate_ms = 0.0;
     let mut accs: Vec<BucketAccumulator> = Vec::with_capacity(buckets.len());
     accs.resize_with(buckets.len(), BucketAccumulator::default);
-    for (bucket_index, outcome, elapsed_ms) in outcomes {
+    for (bucket_index, outcome, elapsed_ms, timing) in outcomes {
         let acc = &mut accs[bucket_index];
         acc.wall_ms += elapsed_ms;
+        stage_build_ms += timing.build_ms;
+        stage_simulate_ms += timing.simulate_ms;
         match outcome {
             SetOutcome::Row(row) => {
                 acc.counted += 1;
@@ -424,6 +568,7 @@ pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> Experiment
         skipped_build_errors: 0,
         skipped_zero_reference: 0,
         violations: BTreeMap::new(),
+        stages: StageTimes::default(),
         buckets: Vec::with_capacity(buckets.len()),
     };
     for (bucket, acc) in buckets.iter().zip(accs) {
@@ -469,6 +614,12 @@ pub fn run_experiment_jobs(config: &ExperimentConfig, jobs: usize) -> Experiment
             violations: acc.violations,
         });
     }
+    stats.stages = StageTimes {
+        generate_ms,
+        build_ms: stage_build_ms,
+        simulate_ms: stage_simulate_ms,
+        fold_ms: fold_watch.elapsed_ms(),
+    };
     stats.wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
     let total_sims = stats.sets_simulated as f64 * policies.len() as f64;
     stats.sims_per_second = if stats.wall_ms > 0.0 {
@@ -577,6 +728,18 @@ pub fn run_replicated_jobs(
     replications: u32,
     jobs: usize,
 ) -> ReplicatedResult {
+    run_replicated_observed(config, replications, jobs, &HarnessObs::none())
+}
+
+/// [`run_replicated_jobs`] with observability attached; every replication
+/// reports into the same registry/reporter, with progress lines labelled
+/// by replication index.
+pub fn run_replicated_observed(
+    config: &ExperimentConfig,
+    replications: u32,
+    jobs: usize,
+    obs: &HarnessObs,
+) -> ReplicatedResult {
     assert!(replications >= 1, "need at least one replication");
     let configs: Vec<ExperimentConfig> = (0..replications)
         .map(|r| {
@@ -590,8 +753,17 @@ pub fn run_replicated_jobs(
     // Fan replications across the pool, splitting the budget so the
     // nested per-set fan-out doesn't oversubscribe.
     let inner_jobs = (par::effective_jobs(jobs) / replications as usize).max(1);
-    let results = par::map_indexed(jobs, &configs, |_, cfg| {
-        run_experiment_jobs(cfg, inner_jobs)
+    let results = par::map_indexed(jobs, &configs, |r, cfg| {
+        let rep_obs = HarnessObs {
+            registry: obs.registry.clone(),
+            progress: obs.progress.clone(),
+            label: if obs.label.is_empty() {
+                format!("rep {r}")
+            } else {
+                format!("{} rep {r}", obs.label)
+            },
+        };
+        run_experiment_observed(cfg, inner_jobs, &rep_obs)
     });
 
     // Key buckets by midpoint bits (midpoints are positive, so the bit
@@ -609,6 +781,7 @@ pub fn run_replicated_jobs(
         skipped_build_errors: 0,
         skipped_zero_reference: 0,
         violations: BTreeMap::new(),
+        stages: StageTimes::default(),
         buckets: Vec::new(),
     };
     for result in &results {
@@ -674,28 +847,49 @@ thread_local! {
         std::cell::RefCell::new(SimWorkspace::new());
 }
 
+/// Per-set stage timing (analysis/build vs. simulation proper).
+#[derive(Debug, Clone, Copy, Default)]
+struct SetTiming {
+    build_ms: f64,
+    simulate_ms: f64,
+}
+
 /// Simulates all policies on one set (inside the calling worker's
-/// reusable workspace).
+/// reusable workspace), optionally reporting engine events to `recorder`.
 fn simulate_set(
     ts: &TaskSet,
     policies: &[PolicyKind],
     config: &ExperimentConfig,
     faults: FaultConfig,
-) -> SetOutcome {
+    recorder: Option<&Arc<dyn Recorder>>,
+) -> (SetOutcome, SetTiming) {
     let sim_config = SimConfig::builder()
         .horizon(config.horizon)
         .power(config.power)
         .faults(faults)
         .build();
     let build_opts = BuildOptions::default();
+    let mut timing = SetTiming::default();
     let mut energies: BTreeMap<PolicyKind, (f64, u64)> = BTreeMap::new();
     for &kind in policies {
+        let build_watch = Stopwatch::start();
         let mut policy = match kind.build(ts, &build_opts) {
             Ok(policy) => policy,
-            Err(error) => return SetOutcome::BuildError(format!("{kind}: {error}")),
+            Err(error) => {
+                timing.build_ms += build_watch.elapsed_ms();
+                return (SetOutcome::BuildError(format!("{kind}: {error}")), timing);
+            }
         };
-        let report = WORKSPACE
-            .with(|ws| simulate_in(&mut ws.borrow_mut(), ts, policy.as_mut(), &sim_config));
+        timing.build_ms += build_watch.elapsed_ms();
+        let simulate_watch = Stopwatch::start();
+        let report = WORKSPACE.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            // Set-or-clear on every call: the thread-local workspace may
+            // be reused by an unobserved run on the same worker later.
+            ws.set_recorder(recorder.cloned());
+            simulate_in(&mut ws, ts, policy.as_mut(), &sim_config)
+        });
+        timing.simulate_ms += simulate_watch.elapsed_ms();
         energies.insert(
             kind,
             (
@@ -705,16 +899,22 @@ fn simulate_set(
         );
     }
     let Some(&(reference, _)) = energies.get(&PolicyKind::Static) else {
-        return SetOutcome::BuildError("reference MKSS_ST was not simulated".to_string());
+        return (
+            SetOutcome::BuildError("reference MKSS_ST was not simulated".to_string()),
+            timing,
+        );
     };
     if reference <= 0.0 {
-        return SetOutcome::ZeroReference;
+        return (SetOutcome::ZeroReference, timing);
     }
-    SetOutcome::Row(
-        energies
-            .into_iter()
-            .map(|(k, (e, v))| (k, (e / reference, e, v)))
-            .collect(),
+    (
+        SetOutcome::Row(
+            energies
+                .into_iter()
+                .map(|(k, (e, v))| (k, (e / reference, e, v)))
+                .collect(),
+        ),
+        timing,
     )
 }
 
@@ -876,7 +1076,13 @@ mod tests {
         ])
         .unwrap();
         let cfg = quick_config(Scenario::NoFault);
-        let outcome = simulate_set(&ts, &[PolicyKind::Selective], &cfg, FaultConfig::none());
+        let (outcome, _) = simulate_set(
+            &ts,
+            &[PolicyKind::Selective],
+            &cfg,
+            FaultConfig::none(),
+            None,
+        );
         match outcome {
             SetOutcome::BuildError(message) => {
                 assert!(
@@ -894,5 +1100,94 @@ mod tests {
         let s = Spread::of(&[2.0]).unwrap();
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn stage_times_are_populated_and_stripped() {
+        let mut result = run_experiment(&quick_config(Scenario::NoFault));
+        let stages = result.stats.stages;
+        assert!(stages.simulate_ms > 0.0, "{stages:?}");
+        assert!(stages.build_ms > 0.0, "{stages:?}");
+        assert!(stages.generate_ms >= 0.0 && stages.fold_ms >= 0.0);
+        assert!(stages.total_ms() > 0.0);
+        result.stats.strip_timing();
+        assert_eq!(result.stats.stages, StageTimes::default());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_counters_are_jobs_invariant() {
+        use mkss_obs::CounterId;
+        let cfg = quick_config(Scenario::Combined);
+        let mut plain = run_experiment_jobs(&cfg, 1);
+        plain.stats.strip_timing();
+        let plain_json = serde_json::to_string(&plain).unwrap();
+        let mut reference_snapshot = None;
+        for jobs in [1usize, 3] {
+            let registry = Arc::new(Registry::new(par::effective_jobs(jobs)));
+            let obs = HarnessObs {
+                registry: Some(Arc::clone(&registry)),
+                progress: None,
+                label: String::new(),
+            };
+            let mut observed = run_experiment_observed(&cfg, jobs, &obs);
+            observed.stats.strip_timing();
+            assert_eq!(
+                serde_json::to_string(&observed).unwrap(),
+                plain_json,
+                "recording changed the results (jobs={jobs})"
+            );
+            let snapshot = registry.snapshot();
+            assert_eq!(
+                snapshot.counter(CounterId::JobsMet) + snapshot.counter(CounterId::JobsMissed),
+                snapshot.counter(CounterId::JobsReleased),
+                "released jobs must all resolve"
+            );
+            assert!(snapshot.counter(CounterId::JobsReleased) > 0);
+            match &reference_snapshot {
+                None => reference_snapshot = Some(snapshot),
+                Some(reference) => assert_eq!(
+                    reference, &snapshot,
+                    "registry totals diverged across jobs values"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn progress_reporter_emits_labelled_lines() {
+        use std::io::Write;
+        use std::sync::Mutex;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let obs = HarnessObs {
+            registry: None,
+            progress: Some(Arc::new(Reporter::with_sink(Box::new(buf.clone())))),
+            label: "unit".to_string(),
+        };
+        assert!(!obs.is_off());
+        let result = run_experiment_observed(&quick_config(Scenario::NoFault), 2, &obs);
+        let bytes = buf.0.lock().unwrap();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        // The work list holds every kept set, whether or not it later
+        // survives simulation (skips still pass through the worker).
+        let total = result.stats.sets_simulated
+            + result.stats.skipped_build_errors
+            + result.stats.skipped_zero_reference;
+        assert!(
+            text.contains(&format!("unit: {total}/{total} sets simulated")),
+            "missing final progress line in {text:?}"
+        );
     }
 }

@@ -13,11 +13,15 @@
 //! This experiment extends the paper (whose 0.8–0.9 bucket came out
 //! empty: nothing deeply-red-schedulable was found in 5000 draws).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use mkss_analysis::exact::exact_sweep;
 use mkss_analysis::rotation::{find_rotation, RotationConfig};
 use mkss_analysis::rta::is_schedulable_r_pattern;
 use mkss_core::mk::Pattern;
 use mkss_core::par;
+use mkss_obs::Reporter;
 use mkss_workload::{Generator, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +92,17 @@ pub fn schedulability_experiment(config: &SchedConfig) -> Vec<SchedRow> {
 /// from its own RNG stream (seeded from the master seed and the bucket
 /// index), so the rows are identical for every `jobs` value.
 pub fn schedulability_experiment_jobs(config: &SchedConfig, jobs: usize) -> Vec<SchedRow> {
+    schedulability_experiment_observed(config, jobs, None)
+}
+
+/// Like [`schedulability_experiment_jobs`], but streams a per-bucket
+/// completion line through `progress` (when given) as workers finish.
+/// The progress lines never change the computed rows.
+pub fn schedulability_experiment_observed(
+    config: &SchedConfig,
+    jobs: usize,
+    progress: Option<&Arc<Reporter>>,
+) -> Vec<SchedRow> {
     let mut bounds: Vec<(u64, f64, f64)> = Vec::new();
     let mut lo = config.from;
     while lo + config.width <= config.to + 1e-9 {
@@ -95,37 +110,49 @@ pub fn schedulability_experiment_jobs(config: &SchedConfig, jobs: usize) -> Vec<
         bounds.push((bounds.len() as u64, lo, hi));
         lo = hi;
     }
+    let total = bounds.len() as u64;
+    let completed = AtomicU64::new(0);
     par::map_indexed(jobs, &bounds, |_, &(bucket_index, lo, hi)| {
-        let mut generator = Generator::new(
-            config.workload,
-            config.seed.wrapping_add(bucket_index * 0x9e37_79b9),
-        );
-        let mut row = SchedRow {
-            midpoint: (lo + hi) / 2.0,
-            samples: 0,
-            rta: 0,
-            with_exact: 0,
-            with_rotation: 0,
-        };
-        while row.samples < config.samples_per_bucket {
-            let Some(ts) = generator.raw_set_in(lo, hi) else {
-                continue;
-            };
-            row.samples += 1;
-            let rta_ok = is_schedulable_r_pattern(&ts);
-            let exact_ok = rta_ok
-                || exact_sweep(&ts, Pattern::DeeplyRed, config.rotation.max_hyperperiod)
-                    .schedulable_forever();
-            let rot_ok = exact_ok
-                || find_rotation(&ts, config.rotation)
-                    .map(|a| a.schedulable())
-                    .unwrap_or(false);
-            row.rta += u32::from(rta_ok);
-            row.with_exact += u32::from(exact_ok);
-            row.with_rotation += u32::from(rot_ok);
+        let row = analyze_bucket(config, bucket_index, lo, hi);
+        if let Some(reporter) = progress {
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            reporter.line(&format!("sched: {done}/{total} buckets analyzed"));
         }
         row
     })
+}
+
+/// Samples and classifies one utilization bucket.
+fn analyze_bucket(config: &SchedConfig, bucket_index: u64, lo: f64, hi: f64) -> SchedRow {
+    let mut generator = Generator::new(
+        config.workload,
+        config.seed.wrapping_add(bucket_index * 0x9e37_79b9),
+    );
+    let mut row = SchedRow {
+        midpoint: (lo + hi) / 2.0,
+        samples: 0,
+        rta: 0,
+        with_exact: 0,
+        with_rotation: 0,
+    };
+    while row.samples < config.samples_per_bucket {
+        let Some(ts) = generator.raw_set_in(lo, hi) else {
+            continue;
+        };
+        row.samples += 1;
+        let rta_ok = is_schedulable_r_pattern(&ts);
+        let exact_ok = rta_ok
+            || exact_sweep(&ts, Pattern::DeeplyRed, config.rotation.max_hyperperiod)
+                .schedulable_forever();
+        let rot_ok = exact_ok
+            || find_rotation(&ts, config.rotation)
+                .map(|a| a.schedulable())
+                .unwrap_or(false);
+        row.rta += u32::from(rta_ok);
+        row.with_exact += u32::from(exact_ok);
+        row.with_rotation += u32::from(rot_ok);
+    }
+    row
 }
 
 /// Renders the rows as an aligned text table.

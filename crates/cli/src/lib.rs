@@ -23,13 +23,16 @@ pub mod format;
 use std::error::Error as StdError;
 use std::fmt;
 
+use std::sync::Arc;
+
 use mkss_analysis::postpone::{postponement_intervals, PostponeConfig};
 use mkss_analysis::rta::{analyze, InterferenceModel};
 use mkss_core::mk::Pattern;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
+use mkss_obs::{EchoRecorder, LogLevel, MetricsDoc, Recorder, Registry, Reporter, Stopwatch};
 use mkss_policies::{BuildOptions, PolicyKind};
-use mkss_sim::engine::{simulate, simulate_in, SimConfig, SimWorkspace};
+use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
 use mkss_sim::fault::FaultConfig;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
@@ -81,9 +84,15 @@ commands:
   simulate <taskset.json> [--policy P] [--horizon-ms N] [--seed S]
            [--permanent primary@MS|spare@MS] [--transient RATE_PER_MS]
            [--gantt] [--vcd FILE] [--active-only]
-  compare  <taskset.json> [--horizon-ms N] [--jobs N]  run every policy, print one row each
+  compare  <taskset.json> [--horizon-ms N] [--jobs N] [--metrics-out FILE]
+           run every policy, print one row each
   generate [--util U] [--seed S] [--tasks MIN..MAX]  emit a schedulable set as JSON
   policies                                     list available policies
+
+environment:
+  MKSS_LOG=off|summary|events  attach an engine-event recorder to simulate
+           and compare: `summary` prints a counter table on stderr at the
+           end, `events` additionally narrates every engine event
 ";
 
 /// Executes a CLI invocation and returns its stdout text.
@@ -112,6 +121,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 fn load_task_set(path: &str) -> Result<TaskSet, CliError> {
     let body = std::fs::read_to_string(path)?;
     TaskSetSpec::parse(&body)?.to_task_set()
+}
+
+/// Reads the `MKSS_LOG` filter, mapping a malformed value to a usage error.
+fn log_level() -> Result<LogLevel, CliError> {
+    LogLevel::from_env().map_err(|e| CliError::Input(e.to_string()))
+}
+
+/// Prints the end-of-run counter table on `reporter`, one line at a time
+/// so concurrent writers cannot interleave inside it.
+fn report_summary_table(reporter: &Reporter, registry: &Registry) {
+    for line in MetricsDoc::new(registry.snapshot()).render_table().lines() {
+        reporter.line(line);
+    }
 }
 
 fn cmd_policies() -> String {
@@ -244,7 +266,26 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
         .faults(faults)
         .record_trace(gantt || vcd_path.is_some())
         .build();
-    let report = simulate(&ts, policy.as_mut(), &config);
+    // MKSS_LOG attaches a recorder to the workspace; the report itself is
+    // byte-identical with and without it (recorders only observe).
+    let log = log_level()?;
+    let mut ws = SimWorkspace::new();
+    let obs = if log.enabled() {
+        let registry = Arc::new(Registry::new(1));
+        let reporter = Arc::new(Reporter::stderr());
+        let recorder: Arc<dyn Recorder> = match log {
+            LogLevel::Events => Arc::new(EchoRecorder::new(
+                registry.handle_at(0),
+                Arc::clone(&reporter),
+            )),
+            _ => Arc::new(registry.handle_at(0)),
+        };
+        ws.set_recorder(Some(recorder));
+        Some((registry, reporter))
+    } else {
+        None
+    };
+    let report = simulate_in(&mut ws, &ts, policy.as_mut(), &config);
 
     let mut out = String::new();
     out.push_str(&format!("policy: {}\n", report.policy));
@@ -288,6 +329,9 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
             out.push_str(&format!("wrote VCD to {path}\n"));
         }
     }
+    if let Some((registry, reporter)) = &obs {
+        report_summary_table(reporter, registry);
+    }
     Ok(out)
 }
 
@@ -298,6 +342,7 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
     let ts = load_task_set(path)?;
     let mut horizon = Time::from_ms(1_000);
     let mut jobs = 0usize;
+    let mut metrics_out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -317,10 +362,35 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
                     .parse()
                     .map_err(|e| CliError::Input(format!("--jobs: {e}")))?;
             }
+            "--metrics-out" => metrics_out = Some(value()?.clone()),
             other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
         }
     }
     let config = SimConfig::builder().horizon(horizon).build();
+    // A registry is wanted for `--metrics-out` and for any MKSS_LOG level;
+    // each worker aggregates into its own shard so totals are identical
+    // for every `--jobs` value.
+    let log = log_level()?;
+    let registry = (metrics_out.is_some() || log.enabled())
+        .then(|| Arc::new(Registry::new(mkss_core::par::effective_jobs(jobs))));
+    let reporter = log.enabled().then(|| Arc::new(Reporter::stderr()));
+    let recorders: Vec<Arc<dyn Recorder>> = registry
+        .as_ref()
+        .map(|registry| {
+            (0..registry.shard_count())
+                .map(|shard| {
+                    let handle = registry.handle_at(shard);
+                    match (log, &reporter) {
+                        (LogLevel::Events, Some(reporter)) => {
+                            Arc::new(EchoRecorder::new(handle, Arc::clone(reporter)))
+                                as Arc<dyn Recorder>
+                        }
+                        _ => Arc::new(handle) as Arc<dyn Recorder>,
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     // Every policy simulates the same set independently — fan them out;
     // rows are then rendered in registry order, so the output (including
     // the "first applicable policy" normalization reference) is identical
@@ -329,12 +399,18 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         static WORKSPACE: std::cell::RefCell<SimWorkspace> =
             std::cell::RefCell::new(SimWorkspace::new());
     }
-    let rows = mkss_core::par::map_indexed(jobs, &PolicyKind::ALL, |_, &kind| {
+    let watch = Stopwatch::start();
+    let rows = mkss_core::par::map_indexed(jobs, &PolicyKind::ALL, |index, &kind| {
         let Ok(mut policy) = kind.build(&ts, &BuildOptions::default()) else {
             return None;
         };
-        let report =
-            WORKSPACE.with(|ws| simulate_in(&mut ws.borrow_mut(), &ts, policy.as_mut(), &config));
+        let recorder =
+            (!recorders.is_empty()).then(|| Arc::clone(&recorders[index % recorders.len()]));
+        let report = WORKSPACE.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            ws.set_recorder(recorder);
+            simulate_in(&mut ws, &ts, policy.as_mut(), &config)
+        });
         Some((
             report.total_energy().units(),
             report.active_energy().units(),
@@ -343,6 +419,7 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
             report.mk_assured(),
         ))
     });
+    let simulate_ms = watch.elapsed_ms();
     let mut out = String::new();
     out.push_str(&format!(
         "{:<20} {:>12} {:>12} {:>7} {:>7} {:>10}
@@ -375,6 +452,18 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
                 f64::NAN
             },
         ));
+    }
+    if let (Some(path), Some(registry)) = (&metrics_out, &registry) {
+        let mut doc = MetricsDoc::new(registry.snapshot());
+        doc.push_meta("binary", "mkss-cli compare");
+        doc.push_meta("policies", PolicyKind::ALL.len().to_string());
+        doc.push_meta("jobs", mkss_core::par::effective_jobs(jobs).to_string());
+        doc.push_stage("simulate_ms", simulate_ms);
+        std::fs::write(path, doc.to_json())?;
+        out.push_str(&format!("wrote metrics to {path}\n"));
+    }
+    if let (Some(registry), Some(reporter)) = (&registry, &reporter) {
+        report_summary_table(reporter, registry);
     }
     Ok(out)
 }
@@ -572,6 +661,72 @@ mod tests {
         }
         assert!(out.contains("true"));
         assert!(!out.contains("false"), "some policy violated (m,k):\n{out}");
+    }
+
+    #[test]
+    fn compare_writes_metrics_json() {
+        let file = sample_file();
+        let path =
+            std::env::temp_dir().join(format!("mkss-cli-metrics-{}.json", std::process::id()));
+        let out = run(&args(&[
+            "compare",
+            file.as_str(),
+            "--horizon-ms",
+            "100",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote metrics to"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"meta\"",
+            "\"counters\"",
+            "\"histograms\"",
+            "\"stages\"",
+            "backups_canceled",
+            "backups_postponed",
+            "optional_executed",
+            "faults_injected",
+            "simulate_ms",
+        ] {
+            assert!(body.contains(key), "missing {key} in:\n{body}");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compare_metrics_counters_are_jobs_invariant() {
+        let file = sample_file();
+        let mut documents = Vec::new();
+        for jobs in ["1", "3"] {
+            let path = std::env::temp_dir().join(format!(
+                "mkss-cli-metrics-jobs{jobs}-{}.json",
+                std::process::id()
+            ));
+            run(&args(&[
+                "compare",
+                file.as_str(),
+                "--horizon-ms",
+                "100",
+                "--jobs",
+                jobs,
+                "--metrics-out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let body = std::fs::read_to_string(&path).unwrap();
+            // The document's keys are emitted in a fixed order, so the
+            // slice from "counters" up to "stages" captures exactly the
+            // counters and histograms sections.
+            let start = body.find("\"counters\"").unwrap();
+            let end = body.find("\"stages\"").unwrap();
+            documents.push(body[start..end].to_string());
+            let _ = std::fs::remove_file(path);
+        }
+        // Counters commute across workers, so only timing (and the jobs
+        // meta entry) may differ between worker counts.
+        assert_eq!(documents[0], documents[1]);
     }
 
     #[test]

@@ -378,6 +378,15 @@ impl MkMonitor {
     pub fn met_in_window(&self) -> u32 {
         self.met_in_window
     }
+
+    /// How many further misses the current window tolerates before the
+    /// (m,k) constraint is violated: `met_in_window − m`, saturating at 0.
+    ///
+    /// A distance of 0 means the window is deeply red — every remaining
+    /// job must meet its deadline (or, if already violated, stays 0).
+    pub fn distance_to_violation(&self) -> u32 {
+        self.met_in_window.saturating_sub(self.mk.m())
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +527,20 @@ mod tests {
         }
         assert!(!mon.violated());
         assert_eq!(mon.met_in_window(), 5);
+    }
+
+    #[test]
+    fn distance_to_violation_tracks_window_headroom() {
+        let mut mon = MkMonitor::new(MkConstraint::new(2, 4).unwrap());
+        assert_eq!(mon.distance_to_violation(), 2); // fresh window: k met
+        mon.record(false);
+        assert_eq!(mon.distance_to_violation(), 1);
+        mon.record(false);
+        assert_eq!(mon.distance_to_violation(), 0); // deeply red
+        assert!(!mon.violated());
+        mon.record(false); // third miss in the window: violation
+        assert!(mon.violated());
+        assert_eq!(mon.distance_to_violation(), 0); // saturates, no underflow
     }
 
     #[test]

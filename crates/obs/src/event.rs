@@ -1,0 +1,218 @@
+//! The closed event catalog: every counter and histogram the engine or the
+//! harness can emit, with stable snake_case names used by the exporters.
+
+/// A named monotonic counter.
+///
+/// The discriminant doubles as the storage index ([`CounterId::index`]), so
+/// the registry backs the whole catalog with a flat `[AtomicU64; COUNT]`
+/// per shard. Names are stable export keys; renaming one is a breaking
+/// change for downstream metric consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CounterId {
+    /// Primary jobs released (one per task activation).
+    JobsReleased,
+    /// Jobs classified mandatory by the (m,k) pattern at release.
+    MandatoryReleased,
+    /// Optional jobs admitted for execution by the policy.
+    OptionalSelected,
+    /// Optional jobs skipped at release (policy declined them).
+    OptionalSkipped,
+    /// Admitted optional jobs later abandoned as infeasible.
+    OptionalAbandoned,
+    /// Optional jobs that ran to completion.
+    OptionalExecuted,
+    /// Backup copies released on the spare processor.
+    BackupsReleased,
+    /// Backup copies whose release was postponed (`r̃ = r + θ`, θ > 0).
+    BackupsPostponed,
+    /// Backup copies canceled because the sibling finished fault-free.
+    BackupsCanceled,
+    /// Backup copies that ran to completion.
+    BackupsCompleted,
+    /// Faults injected, transient and permanent combined.
+    FaultsInjected,
+    /// Transient faults sampled onto completing copies.
+    TransientFaults,
+    /// Permanent processor faults applied.
+    PermanentFaults,
+    /// Jobs met *because* a backup covered a failed or lost main copy.
+    FaultsRecovered,
+    /// Pending copies lost to a permanent processor fault.
+    CopiesLost,
+    /// Jobs that met their deadline.
+    JobsMet,
+    /// Jobs that missed their deadline (or were skipped/abandoned).
+    JobsMissed,
+    /// (m,k) windows that newly entered violation.
+    MkViolations,
+}
+
+impl CounterId {
+    /// Number of counters in the catalog.
+    pub const COUNT: usize = 18;
+
+    /// Every counter, in storage/export order.
+    pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::JobsReleased,
+        CounterId::MandatoryReleased,
+        CounterId::OptionalSelected,
+        CounterId::OptionalSkipped,
+        CounterId::OptionalAbandoned,
+        CounterId::OptionalExecuted,
+        CounterId::BackupsReleased,
+        CounterId::BackupsPostponed,
+        CounterId::BackupsCanceled,
+        CounterId::BackupsCompleted,
+        CounterId::FaultsInjected,
+        CounterId::TransientFaults,
+        CounterId::PermanentFaults,
+        CounterId::FaultsRecovered,
+        CounterId::CopiesLost,
+        CounterId::JobsMet,
+        CounterId::JobsMissed,
+        CounterId::MkViolations,
+    ];
+
+    /// Storage index of this counter (its position in [`CounterId::ALL`]).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case export name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::JobsReleased => "jobs_released",
+            CounterId::MandatoryReleased => "mandatory_released",
+            CounterId::OptionalSelected => "optional_selected",
+            CounterId::OptionalSkipped => "optional_skipped",
+            CounterId::OptionalAbandoned => "optional_abandoned",
+            CounterId::OptionalExecuted => "optional_executed",
+            CounterId::BackupsReleased => "backups_released",
+            CounterId::BackupsPostponed => "backups_postponed",
+            CounterId::BackupsCanceled => "backups_canceled",
+            CounterId::BackupsCompleted => "backups_completed",
+            CounterId::FaultsInjected => "faults_injected",
+            CounterId::TransientFaults => "transient_faults",
+            CounterId::PermanentFaults => "permanent_faults",
+            CounterId::FaultsRecovered => "faults_recovered",
+            CounterId::CopiesLost => "copies_lost",
+            CounterId::JobsMet => "jobs_met",
+            CounterId::JobsMissed => "jobs_missed",
+            CounterId::MkViolations => "mk_violations",
+        }
+    }
+}
+
+/// A named fixed-bucket histogram.
+///
+/// Buckets are `value <= bound` for each bound in [`HistogramId::bounds`],
+/// plus one trailing overflow bucket — [`HistogramId::BUCKETS`] cells total.
+/// Bounds are fixed at compile time so shards can merge without
+/// renegotiating bucket layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum HistogramId {
+    /// (m,k) distance-to-violation observed at each job resolution: how
+    /// many further misses the current window tolerates before violating
+    /// (0 = deeply red, every remaining job is do-or-die).
+    MkDistance,
+    /// Backup release postponement θ in whole milliseconds (rounded up),
+    /// observed once per postponed backup.
+    BackupDelayMs,
+}
+
+impl HistogramId {
+    /// Number of histograms in the catalog.
+    pub const COUNT: usize = 2;
+
+    /// Cells per histogram: the bounded buckets plus one overflow bucket.
+    pub const BUCKETS: usize = 8;
+
+    /// Every histogram, in storage/export order.
+    pub const ALL: [HistogramId; Self::COUNT] =
+        [HistogramId::MkDistance, HistogramId::BackupDelayMs];
+
+    /// Storage index of this histogram (its position in [`HistogramId::ALL`]).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case export name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistogramId::MkDistance => "mk_distance",
+            HistogramId::BackupDelayMs => "backup_delay_ms",
+        }
+    }
+
+    /// Inclusive upper bounds of the bounded buckets (the final storage
+    /// cell counts values above the last bound).
+    pub const fn bounds(self) -> &'static [u64; Self::BUCKETS - 1] {
+        match self {
+            HistogramId::MkDistance => &[0, 1, 2, 3, 4, 6, 8],
+            HistogramId::BackupDelayMs => &[0, 1, 2, 4, 8, 16, 32],
+        }
+    }
+
+    /// Storage cell for `value`: first bucket whose bound contains it, else
+    /// the overflow cell.
+    #[inline]
+    pub fn bucket_of(self, value: u64) -> usize {
+        let bounds = self.bounds();
+        match bounds.iter().position(|&b| value <= b) {
+            Some(i) => i,
+            None => bounds.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_match_catalog_order() {
+        for (i, c) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{} out of order", c.name());
+        }
+    }
+
+    #[test]
+    fn counter_names_are_unique_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CounterId::ALL {
+            let name = c.name();
+            assert!(seen.insert(name), "duplicate counter name {name}");
+            assert!(
+                name.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'),
+                "non-snake-case counter name {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        let h = HistogramId::BackupDelayMs;
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(1), 1);
+        assert_eq!(h.bucket_of(2), 2);
+        assert_eq!(h.bucket_of(3), 3); // first bound >= 3 is 4
+        assert_eq!(h.bucket_of(4), 3);
+        assert_eq!(h.bucket_of(32), HistogramId::BUCKETS - 2);
+        assert_eq!(h.bucket_of(33), HistogramId::BUCKETS - 1); // overflow
+        assert_eq!(h.bucket_of(u64::MAX), HistogramId::BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_bounds_are_strictly_increasing() {
+        for h in HistogramId::ALL {
+            let bounds = h.bounds();
+            for pair in bounds.windows(2) {
+                assert!(pair[0] < pair[1], "{} bounds not increasing", h.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Zero-dependency observability for the (m,k) standby-sparing simulator.
+//!
+//! This crate is the sink side of the engine event hooks: the simulator and
+//! the bench harness emit *events* (a counter increment, a histogram sample)
+//! through the [`Recorder`] trait, and this crate aggregates them in a
+//! sharded, contention-free [`Registry`], exports them as a human table or a
+//! hand-rolled JSON document ([`MetricsDoc`]), and serializes live progress
+//! lines through a single-writer [`Reporter`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when off.** The hot path carries an
+//!    `Option<Arc<dyn Recorder>>`; `None` costs one branch per emit site and
+//!    allocates nothing (the zero-alloc counting-allocator test in
+//!    `mkss-sim` runs with the recorder absent and must keep passing
+//!    unchanged). [`NoopRecorder`] exists for callers that want a recorder
+//!    *object* with no effect; its methods are empty `#[inline]` bodies.
+//! 2. **Deterministic aggregation.** Counters are commutative sums over
+//!    relaxed atomics; [`Registry::snapshot`] folds shards in catalog order,
+//!    so totals are identical for any `--jobs` value and any interleaving.
+//! 3. **Zero external dependencies.** The container has no network; like
+//!    `mkss_core::par`, everything here is std-only — including the JSON
+//!    writer.
+//!
+//! The event catalog ([`CounterId`], [`HistogramId`]) is a closed enum
+//! rather than string keys so that emit sites are O(1) array indexing and
+//! typos are compile errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod log;
+mod recorder;
+mod registry;
+mod reporter;
+mod span;
+
+pub use event::{CounterId, HistogramId};
+pub use export::MetricsDoc;
+pub use log::{LogLevel, ParseLogLevelError, LOG_ENV_VAR};
+pub use recorder::{EchoRecorder, NoopRecorder, Recorder};
+pub use registry::{MetricsSnapshot, RecorderHandle, Registry};
+pub use reporter::Reporter;
+pub use span::Stopwatch;

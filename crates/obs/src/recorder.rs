@@ -1,0 +1,107 @@
+//! The [`Recorder`] trait — the only thing emit sites know about — and the
+//! two trivial implementations that bracket the cost spectrum.
+
+use std::sync::Arc;
+
+use crate::event::{CounterId, HistogramId};
+use crate::registry::RecorderHandle;
+use crate::reporter::Reporter;
+
+/// Sink for engine and harness events.
+///
+/// Implementations must be cheap and non-blocking: emit sites sit inside
+/// the simulator inner loop. They must also be oblivious — a recorder
+/// observes the simulation but never feeds back into it, which is what
+/// makes recorder-on and recorder-off runs byte-identical.
+pub trait Recorder: Send + Sync {
+    /// Add `by` to a counter.
+    fn incr(&self, counter: CounterId, by: u64);
+
+    /// Record one sample into a histogram.
+    fn observe(&self, histogram: HistogramId, value: u64);
+
+    /// Add 1 to a counter (the overwhelmingly common case).
+    #[inline]
+    fn count(&self, counter: CounterId) {
+        self.incr(counter, 1);
+    }
+}
+
+/// A recorder that discards everything.
+///
+/// Both methods are empty `#[inline]` bodies, so with this recorder
+/// attached an emit site reduces to a virtual call returning immediately;
+/// with no recorder attached at all (`None`), it reduces to one branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn incr(&self, _counter: CounterId, _by: u64) {}
+
+    #[inline]
+    fn observe(&self, _histogram: HistogramId, _value: u64) {}
+}
+
+/// A recorder that aggregates into a registry shard *and* narrates each
+/// counter event as a line on a [`Reporter`] — the `MKSS_LOG=events`
+/// backend. Strictly a debugging aid: it is far too chatty for the bench
+/// harness and is only wired into the CLI and examples.
+#[derive(Debug)]
+pub struct EchoRecorder {
+    handle: RecorderHandle,
+    reporter: Arc<Reporter>,
+}
+
+impl EchoRecorder {
+    /// Wrap a registry handle so every event is also echoed to `reporter`.
+    pub fn new(handle: RecorderHandle, reporter: Arc<Reporter>) -> Self {
+        EchoRecorder { handle, reporter }
+    }
+}
+
+impl Recorder for EchoRecorder {
+    fn incr(&self, counter: CounterId, by: u64) {
+        self.handle.incr(counter, by);
+        self.reporter
+            .line(&format!("event {} +{by}", counter.name()));
+    }
+
+    fn observe(&self, histogram: HistogramId, value: u64) {
+        self.handle.observe(histogram, value);
+        self.reporter
+            .line(&format!("event {} observe {value}", histogram.name()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn noop_recorder_is_callable_through_dyn() {
+        let r: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        r.count(CounterId::JobsReleased);
+        r.incr(CounterId::JobsMet, 7);
+        r.observe(HistogramId::MkDistance, 3);
+    }
+
+    #[test]
+    fn echo_recorder_aggregates_and_narrates() {
+        let registry = Arc::new(Registry::new(1));
+        let sink: Vec<u8> = Vec::new();
+        let reporter = Arc::new(Reporter::with_sink(Box::new(sink)));
+        let echo = EchoRecorder::new(registry.handle_at(0), Arc::clone(&reporter));
+        echo.count(CounterId::BackupsCanceled);
+        echo.observe(HistogramId::BackupDelayMs, 4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(CounterId::BackupsCanceled), 1);
+        assert_eq!(
+            snap.histogram(HistogramId::BackupDelayMs)
+                .iter()
+                .sum::<u64>(),
+            1
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Sharded counter/histogram storage and its deterministic snapshot.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::event::{CounterId, HistogramId};
+use crate::recorder::Recorder;
+
+/// One shard: a flat atomic cell per catalog entry.
+struct Shard {
+    counters: [AtomicU64; CounterId::COUNT],
+    histograms: [[AtomicU64; HistogramId::BUCKETS]; HistogramId::COUNT],
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+/// Lock-free-ish metric storage: a fixed set of shards, each a flat array
+/// of `AtomicU64` indexed by the event catalog.
+///
+/// Writers grab a [`RecorderHandle`] pinned to one shard and bump cells
+/// with relaxed `fetch_add`; with one handle per worker thread (the bench
+/// harness sizes the registry to `par::effective_jobs`) there is no
+/// cross-thread contention at all. Because addition commutes,
+/// [`Registry::snapshot`] — a fold over shards in catalog order — yields
+/// identical totals for every `--jobs` value and every interleaving.
+pub struct Registry {
+    shards: Box<[Shard]>,
+    next: AtomicUsize,
+}
+
+impl Registry {
+    /// Maximum shard count (handles wrap around beyond it).
+    pub const MAX_SHARDS: usize = 64;
+
+    /// Create a registry with `shards` shards (clamped to `1..=64`).
+    pub fn new(shards: usize) -> Registry {
+        let n = shards.clamp(1, Self::MAX_SHARDS);
+        Registry {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A handle pinned to shard `shard % shard_count()`.
+    pub fn handle_at(self: &Arc<Self>, shard: usize) -> RecorderHandle {
+        RecorderHandle {
+            registry: Arc::clone(self),
+            shard: shard % self.shards.len(),
+        }
+    }
+
+    /// A handle on the next shard in round-robin order — convenient when
+    /// callers don't track worker indices themselves.
+    pub fn handle(self: &Arc<Self>) -> RecorderHandle {
+        let shard = self.next.fetch_add(1, Ordering::Relaxed);
+        self.handle_at(shard)
+    }
+
+    /// Sum every shard into a deterministic, plain-data snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = vec![0u64; CounterId::COUNT];
+        let mut histograms = vec![[0u64; HistogramId::BUCKETS]; HistogramId::COUNT];
+        for shard in self.shards.iter() {
+            for (total, cell) in counters.iter_mut().zip(shard.counters.iter()) {
+                *total += cell.load(Ordering::Relaxed);
+            }
+            for (totals, cells) in histograms.iter_mut().zip(shard.histograms.iter()) {
+                for (total, cell) in totals.iter_mut().zip(cells.iter()) {
+                    *total += cell.load(Ordering::Relaxed);
+                }
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// A [`Recorder`] writing into one shard of a shared [`Registry`].
+#[derive(Debug, Clone)]
+pub struct RecorderHandle {
+    registry: Arc<Registry>,
+    shard: usize,
+}
+
+impl Recorder for RecorderHandle {
+    #[inline]
+    fn incr(&self, counter: CounterId, by: u64) {
+        self.registry.shards[self.shard].counters[counter.index()].fetch_add(by, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, histogram: HistogramId, value: u64) {
+        let bucket = histogram.bucket_of(value);
+        self.registry.shards[self.shard].histograms[histogram.index()][bucket]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data copy of a registry at one instant, in catalog order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: Vec<u64>,
+    histograms: Vec<[u64; HistogramId::BUCKETS]>,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot (for documents with stage timings but no
+    /// engine events, e.g. the analysis-only schedulability ladder).
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![0; CounterId::COUNT],
+            histograms: vec![[0; HistogramId::BUCKETS]; HistogramId::COUNT],
+        }
+    }
+
+    /// Value of one counter.
+    pub fn counter(&self, counter: CounterId) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Bucket counts of one histogram (bounded buckets then overflow).
+    pub fn histogram(&self, histogram: HistogramId) -> &[u64] {
+        &self.histograms[histogram.index()]
+    }
+
+    /// Iterate `(name, value)` over all counters in catalog order.
+    pub fn iter_counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        CounterId::ALL.iter().map(|&c| (c.name(), self.counter(c)))
+    }
+
+    /// True when every cell is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&v| v == 0)
+            && self.histograms.iter().all(|h| h.iter().all(|&v| v == 0))
+    }
+
+    /// Add another snapshot cell-by-cell (merging independent registries).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (ha, hb) in self.histograms.iter_mut().zip(other.histograms.iter()) {
+            for (a, b) in ha.iter_mut().zip(hb.iter()) {
+                *a += b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sums_across_shards() {
+        let registry = Arc::new(Registry::new(4));
+        for shard in 0..4 {
+            let h = registry.handle_at(shard);
+            h.incr(CounterId::JobsReleased, (shard as u64) + 1);
+            h.observe(HistogramId::MkDistance, shard as u64);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(CounterId::JobsReleased), 1 + 2 + 3 + 4);
+        assert_eq!(
+            snap.histogram(HistogramId::MkDistance).iter().sum::<u64>(),
+            4
+        );
+        assert_eq!(snap.counter(CounterId::JobsMet), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let registry = Arc::new(Registry::new(3));
+        let threads = 6;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let handle = registry.handle_at(t);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        handle.count(CounterId::BackupsCanceled);
+                        handle.observe(HistogramId::BackupDelayMs, i % 40);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let expected = threads as u64 * per_thread;
+        assert_eq!(snap.counter(CounterId::BackupsCanceled), expected);
+        assert_eq!(
+            snap.histogram(HistogramId::BackupDelayMs)
+                .iter()
+                .sum::<u64>(),
+            expected
+        );
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(Registry::new(0).shard_count(), 1);
+        assert_eq!(Registry::new(1000).shard_count(), Registry::MAX_SHARDS);
+    }
+
+    #[test]
+    fn round_robin_handles_cover_all_shards() {
+        let registry = Arc::new(Registry::new(2));
+        let a = registry.handle();
+        let b = registry.handle();
+        a.count(CounterId::JobsMet);
+        b.count(CounterId::JobsMet);
+        assert_eq!(registry.snapshot().counter(CounterId::JobsMet), 2);
+    }
+
+    #[test]
+    fn merge_adds_cell_by_cell() {
+        let r1 = Arc::new(Registry::new(1));
+        let r2 = Arc::new(Registry::new(1));
+        r1.handle_at(0).incr(CounterId::JobsMet, 2);
+        r2.handle_at(0).incr(CounterId::JobsMet, 3);
+        r2.handle_at(0).observe(HistogramId::MkDistance, 0);
+        let mut snap = r1.snapshot();
+        snap.merge(&r2.snapshot());
+        assert_eq!(snap.counter(CounterId::JobsMet), 5);
+        assert_eq!(snap.histogram(HistogramId::MkDistance)[0], 1);
+        assert!(!snap.is_zero());
+        assert!(MetricsSnapshot::empty().is_zero());
+    }
+}

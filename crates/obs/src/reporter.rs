@@ -1,0 +1,121 @@
+//! Single-writer, line-buffered progress output.
+//!
+//! The bench binaries used to `eprintln!` ad hoc from inside parallel
+//! folds; under `--jobs > 1` two workers could interleave mid-line. The
+//! [`Reporter`] fixes that structurally: each message is assembled into one
+//! buffer (including the trailing newline) and written with a single
+//! `write_all` under a mutex, so lines can never split across workers.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+/// Serialized line sink, shared across workers behind an `Arc`.
+pub struct Reporter {
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Reporter {
+    /// A reporter writing to standard error (the conventional harness
+    /// channel — stdout stays machine-readable).
+    pub fn stderr() -> Reporter {
+        Reporter::with_sink(Box::new(io::stderr()))
+    }
+
+    /// A reporter writing to an arbitrary sink (tests, capture buffers).
+    pub fn with_sink(sink: Box<dyn Write + Send>) -> Reporter {
+        Reporter {
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// Write `text` plus a newline as one atomic block, then flush.
+    ///
+    /// I/O errors are swallowed: progress output must never abort an
+    /// experiment (e.g. a closed stderr pipe under `2>/dev/null`).
+    pub fn line(&self, text: &str) {
+        let mut buf = Vec::with_capacity(text.len() + 1);
+        buf.extend_from_slice(text.as_bytes());
+        buf.push(b'\n');
+        // A poisoned mutex just means another emitter panicked mid-write;
+        // keep reporting rather than cascading the panic.
+        let mut sink = match self.sink.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = sink.write_all(&buf);
+        let _ = sink.flush();
+    }
+}
+
+impl fmt::Debug for Reporter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Reporter(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` sink shared across threads so the test can inspect the
+    /// byte stream the reporter actually produced.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_emits_never_split_lines() {
+        let buf = SharedBuf::default();
+        let reporter = Arc::new(Reporter::with_sink(Box::new(buf.clone())));
+        let threads = 8;
+        let lines_per_thread = 200;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let reporter = Arc::clone(&reporter);
+                scope.spawn(move || {
+                    for i in 0..lines_per_thread {
+                        // Varying lengths make torn writes detectable.
+                        let payload = "x".repeat(1 + (t * 7 + i) % 61);
+                        reporter.line(&format!("worker {t} line {i} {payload} end{t}"));
+                    }
+                });
+            }
+        });
+        let bytes = buf.0.lock().unwrap();
+        let text = std::str::from_utf8(&bytes).expect("reporter output is UTF-8");
+        assert!(text.ends_with('\n'));
+        let mut per_thread = vec![0usize; threads];
+        for line in text.lines() {
+            let mut words = line.split_whitespace();
+            assert_eq!(words.next(), Some("worker"), "torn line: {line:?}");
+            let t: usize = words.next().unwrap().parse().expect("thread id");
+            assert!(
+                line.ends_with(&format!("end{t}")),
+                "line start/end from different emits: {line:?}"
+            );
+            per_thread[t] += 1;
+        }
+        assert_eq!(per_thread, vec![lines_per_thread; threads]);
+    }
+
+    #[test]
+    fn line_appends_exactly_one_newline() {
+        let buf = SharedBuf::default();
+        let reporter = Reporter::with_sink(Box::new(buf.clone()));
+        reporter.line("hello");
+        reporter.line("");
+        assert_eq!(&*buf.0.lock().unwrap(), b"hello\n\n");
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal wall-clock span timing for harness stages.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+///
+/// Stage timings are machine-dependent by nature; everything measured with
+/// this type must flow into fields that `RunStats::strip_timing` zeroes so
+/// determinism checks can exclude them.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let watch = Stopwatch::start();
+        let first = watch.elapsed_ms();
+        let second = watch.elapsed_ms();
+        assert!(first >= 0.0);
+        assert!(second >= first);
+    }
+}

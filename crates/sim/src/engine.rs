@@ -41,13 +41,31 @@
 //! capacity throughout; [`simulate`] is the convenience wrapper that
 //! creates a throwaway workspace per call. With `record_trace = false`
 //! the steady-state event loop performs **zero** allocations per event.
+//!
+//! ## Observability
+//!
+//! The engine optionally narrates itself through a
+//! [`Recorder`](mkss_obs::Recorder) attached to the workspace
+//! ([`SimWorkspace::set_recorder`] / [`SimWorkspace::with_recorder`]):
+//! job releases and resolutions, mandatory/optional classification,
+//! backup release and postponement (`r̃ = r + θ`), backup cancellation,
+//! fault injection and recovery, and the (m,k) distance-to-violation at
+//! each resolution. The recorder lives on the workspace rather than on
+//! [`SimConfig`] because the config stays `Copy + PartialEq +
+//! Serialize`, which a trait-object handle cannot be. Recorders only
+//! observe — they never feed back into the run — so a recorder-on
+//! report is byte-identical to a recorder-off one, and with no recorder
+//! attached each emit site costs a single branch (the zero-allocation
+//! contract above is unchanged).
 
 use mkss_core::history::{JobOutcome, MkHistory};
 use mkss_core::job::{CopyKind, Job, JobClass};
 use mkss_core::mk::MkMonitor;
 use mkss_core::task::{TaskId, TaskSet};
 use mkss_core::time::Time;
+use mkss_obs::{CounterId, HistogramId, Recorder};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::fault::{FaultConfig, TransientSampler};
 use crate::policy::{Policy, ReleaseCtx, ReleaseDecision};
@@ -280,6 +298,24 @@ pub struct SimWorkspace {
     trace: Trace,
     /// Merged busy intervals per processor, in time order.
     busy: [Vec<(Time, Time)>; 2],
+    /// Optional event sink; survives `begin_run` so one attachment
+    /// covers every simulation run through this workspace.
+    recorder: RecorderSlot,
+}
+
+/// Wrapper keeping `SimWorkspace`'s `derive(Debug, Default)` while
+/// holding a non-`Debug` trait object.
+#[derive(Default)]
+struct RecorderSlot(Option<Arc<dyn Recorder>>);
+
+impl std::fmt::Debug for RecorderSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "Recorder(attached)"
+        } else {
+            "Recorder(none)"
+        })
+    }
 }
 
 impl SimWorkspace {
@@ -287,6 +323,27 @@ impl SimWorkspace {
     /// retained across runs.
     pub fn new() -> Self {
         SimWorkspace::default()
+    }
+
+    /// Creates an empty workspace with `recorder` already attached.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        let mut ws = SimWorkspace::default();
+        ws.set_recorder(Some(recorder));
+        ws
+    }
+
+    /// Attaches (or with `None`, detaches) the event sink that every
+    /// subsequent [`simulate_in`] call through this workspace reports to.
+    ///
+    /// Recorders observe the run without influencing it: the produced
+    /// [`SimReport`] is byte-identical with and without one attached.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
+        self.recorder = RecorderSlot(recorder);
+    }
+
+    /// True when an event sink is attached.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.0.is_some()
     }
 
     /// Clears per-run state, keeping every allocation. Task states are
@@ -417,6 +474,37 @@ struct Engine<'a, 'w> {
 }
 
 impl<'a, 'w> Engine<'a, 'w> {
+    /// Bump a counter on the attached recorder, if any. One predictable
+    /// branch when detached — cheap enough for every emit site.
+    #[inline]
+    fn emit(&self, counter: CounterId) {
+        if let Some(recorder) = &self.ws.recorder.0 {
+            recorder.incr(counter, 1);
+        }
+    }
+
+    /// Record a histogram sample on the attached recorder, if any.
+    #[inline]
+    fn emit_observe(&self, histogram: HistogramId, value: u64) {
+        if let Some(recorder) = &self.ws.recorder.0 {
+            recorder.observe(histogram, value);
+        }
+    }
+
+    /// Narrate one backup-copy release: postponed (`r̃ = r + θ`, θ > 0)
+    /// releases additionally sample θ into the delay histogram.
+    #[inline]
+    fn emit_backup_release(&self, backup_delay: Time) {
+        self.emit(CounterId::BackupsReleased);
+        if !backup_delay.is_zero() {
+            self.emit(CounterId::BackupsPostponed);
+            self.emit_observe(
+                HistogramId::BackupDelayMs,
+                backup_delay.as_ms_f64().ceil() as u64,
+            );
+        }
+    }
+
     fn run<P: Policy + ?Sized>(mut self, policy: &mut P) -> SimReport {
         policy.init(self.ts);
         loop {
@@ -482,6 +570,8 @@ impl<'a, 'w> Engine<'a, 'w> {
             return;
         }
         self.fault_applied = true;
+        self.emit(CounterId::FaultsInjected);
+        self.emit(CounterId::PermanentFaults);
         let p = pf.proc;
         self.alive[p.index()] = false;
         self.death_time[p.index()] = Some(self.clock);
@@ -494,6 +584,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             if copy.proc == p && copy.state == CopyState::Pending {
                 copy.state = CopyState::Lost;
                 self.stats.copies_lost += 1;
+                self.emit(CounterId::CopiesLost);
             }
         }
     }
@@ -529,15 +620,25 @@ impl<'a, 'w> Engine<'a, 'w> {
         tstate.history.record(outcome);
         let was_violated = tstate.monitor.violated();
         tstate.monitor.record(outcome.is_met());
-        if tstate.monitor.violated() && !was_violated {
+        let now_violated = tstate.monitor.violated();
+        let distance = tstate.monitor.distance_to_violation();
+        self.emit_observe(HistogramId::MkDistance, u64::from(distance));
+        if now_violated && !was_violated {
             self.violations.push(MkViolation {
                 task: job.id.task,
                 job_index: job.id.index,
             });
+            self.emit(CounterId::MkViolations);
         }
         match outcome {
-            JobOutcome::Met => self.stats.met += 1,
-            JobOutcome::Missed => self.stats.missed += 1,
+            JobOutcome::Met => {
+                self.stats.met += 1;
+                self.emit(CounterId::JobsMet);
+            }
+            JobOutcome::Missed => {
+                self.stats.missed += 1;
+                self.emit(CounterId::JobsMissed);
+            }
         }
         if self.config.record_trace {
             self.ws.trace.resolutions.push(JobResolution {
@@ -614,6 +715,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             policy.on_release(&ctx)
         };
         self.stats.released += 1;
+        self.emit(CounterId::JobsReleased);
 
         let job_entry = self.ws.jobs.len();
         // Normalize the two mandatory forms.
@@ -639,6 +741,7 @@ impl<'a, 'w> Engine<'a, 'w> {
                     "main speed must be in 1..=1000 permil"
                 );
                 self.stats.mandatory += 1;
+                self.emit(CounterId::MandatoryReleased);
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Mandatory);
                 let mut copies = [0usize; 2];
                 let mut copy_count = 0u8;
@@ -684,6 +787,7 @@ impl<'a, 'w> Engine<'a, 'w> {
                         self.ws.copies[main_idx].sibling = Some(backup_idx);
                         copies[copy_count as usize] = backup_idx;
                         copy_count += 1;
+                        self.emit_backup_release(backup_delay);
                     }
                 } else {
                     // The main's processor is dead: host the job as its
@@ -711,6 +815,7 @@ impl<'a, 'w> Engine<'a, 'w> {
                     });
                     copies[copy_count as usize] = idx;
                     copy_count += 1;
+                    self.emit_backup_release(backup_delay);
                 }
                 for &c in &copies[..copy_count as usize] {
                     self.ws.active_copies.push(c);
@@ -728,6 +833,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             }
             ReleaseDecision::Optional { proc } => {
                 self.stats.optional_selected += 1;
+                self.emit(CounterId::OptionalSelected);
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
                 let proc = self.live_proc(proc);
                 let idx = self.ws.copies.len();
@@ -756,6 +862,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             }
             ReleaseDecision::Skip => {
                 self.stats.optional_skipped += 1;
+                self.emit(CounterId::OptionalSkipped);
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
                 self.ws.jobs.push(JobEntry {
                     job,
@@ -818,6 +925,7 @@ impl<'a, 'w> Engine<'a, 'w> {
                 && !copy.job.feasible_from(self.clock, copy.remaining)
             {
                 self.stats.optional_abandoned += 1;
+                self.emit(CounterId::OptionalAbandoned);
                 self.stop_copy(c, CopyState::Abandoned, SegmentEnd::Preempted);
             }
         }
@@ -920,13 +1028,20 @@ impl<'a, 'w> Engine<'a, 'w> {
             let faulted = self.sampler.sample(self.ws.copies[c].exec_total);
             if faulted {
                 self.stats.transient_faults += 1;
+                self.emit(CounterId::FaultsInjected);
+                self.emit(CounterId::TransientFaults);
             }
             let proc = self.ws.copies[c].proc;
             self.running[proc.index()] = None;
             self.close_segment(c, SegmentEnd::Completed);
             self.ws.copies[c].state = CopyState::Done { faulted };
-            if self.ws.copies[c].kind == CopyKind::Backup {
-                self.stats.backups_completed += 1;
+            match self.ws.copies[c].kind {
+                CopyKind::Backup => {
+                    self.stats.backups_completed += 1;
+                    self.emit(CounterId::BackupsCompleted);
+                }
+                CopyKind::Optional if !faulted => self.emit(CounterId::OptionalExecuted),
+                _ => {}
             }
         }
         // …then act on the outcomes.
@@ -939,11 +1054,25 @@ impl<'a, 'w> Engine<'a, 'w> {
             }
             let job_idx = self.ws.copies[c].job_entry;
             if !self.ws.jobs[job_idx].resolved {
+                // A backup finishing fault-free with its main copy gone
+                // (faulted, lost with its processor, or never created) is
+                // the standby-sparing mechanism actually saving the job.
+                let recovered = self.ws.copies[c].kind == CopyKind::Backup
+                    && self.ws.copies[c].sibling.is_none_or(|sib| {
+                        matches!(
+                            self.ws.copies[sib].state,
+                            CopyState::Done { faulted: true } | CopyState::Lost
+                        )
+                    });
                 self.resolve(job_idx, JobOutcome::Met, self.clock);
+                if recovered {
+                    self.emit(CounterId::FaultsRecovered);
+                }
             }
             if let Some(sib) = self.ws.copies[c].sibling {
                 if self.ws.copies[sib].state == CopyState::Pending {
                     self.stats.backups_canceled += 1;
+                    self.emit(CounterId::BackupsCanceled);
                     self.stop_copy(sib, CopyState::Canceled, SegmentEnd::Canceled);
                 }
             }
@@ -1234,7 +1363,11 @@ mod tests {
 
     #[test]
     fn energy_timeline_partitions() {
-        let report = simulate(&fig1_set(), &mut StaticRef, &SimConfig::new(Time::from_ms(20)));
+        let report = simulate(
+            &fig1_set(),
+            &mut StaticRef,
+            &SimConfig::new(Time::from_ms(20)),
+        );
         for e in &report.energy {
             assert_eq!(e.busy_time + e.idle_time, Time::from_ms(20));
         }

@@ -172,7 +172,10 @@ mod tests {
         let seq_a: Vec<bool> = (0..50).map(|_| a.sample(Time::from_ms(5))).collect();
         let seq_b: Vec<bool> = (0..50).map(|_| b.sample(Time::from_ms(5))).collect();
         assert_eq!(seq_a, seq_b);
-        assert!(seq_a.iter().any(|&x| x), "rate 0.3/ms over 5ms should fault sometimes");
+        assert!(
+            seq_a.iter().any(|&x| x),
+            "rate 0.3/ms over 5ms should fault sometimes"
+        );
         assert!(!seq_a.iter().all(|&x| x));
     }
 

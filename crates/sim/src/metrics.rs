@@ -62,10 +62,7 @@ pub struct TraceMetrics {
 impl TraceMetrics {
     /// Total canceled-backup (wasted duplicate) work across tasks.
     pub fn total_canceled_backup_work(&self) -> Time {
-        self.per_task
-            .iter()
-            .map(|t| t.canceled_backup_work)
-            .sum()
+        self.per_task.iter().map(|t| t.canceled_backup_work).sum()
     }
 
     /// Total execution time across all copies of all tasks.
@@ -160,6 +157,8 @@ mod tests {
     use crate::engine::{simulate, SimConfig};
     use crate::policy::{Policy, ReleaseCtx, ReleaseDecision};
     use crate::proc::ProcId;
+    use crate::trace::{JobResolution, Segment};
+    use mkss_core::job::JobId;
     use mkss_core::task::{Task, TaskSet};
 
     struct Dup;
@@ -221,5 +220,83 @@ mod tests {
         // τ2's jobs get preempted by τ1 (J21 at t=5 on both processors).
         assert!(m.per_task[1].preemptions >= 2);
         assert_eq!(m.per_task[0].preemptions, 0);
+    }
+
+    #[test]
+    fn empty_trace_yields_all_zero_rows() {
+        let ts = two_task_set();
+        let m = analyze_trace(&ts, &Trace::default());
+        assert_eq!(m.per_task.len(), ts.len());
+        for row in &m.per_task {
+            assert_eq!((row.met, row.missed, row.preemptions), (0, 0, 0));
+            assert_eq!(row.worst_response, Time::ZERO);
+            assert_eq!(row.mean_response_ms(), 0.0);
+        }
+        assert_eq!(m.total_busy(), Time::ZERO);
+        assert_eq!(m.total_canceled_backup_work(), Time::ZERO);
+    }
+
+    #[test]
+    fn zero_met_jobs_has_finite_mean_response() {
+        // Every job missed: mean response over zero met jobs must be an
+        // exact 0.0, not NaN/inf from a 0/0.
+        let ts = two_task_set();
+        let trace = Trace {
+            segments: Vec::new(),
+            resolutions: vec![
+                JobResolution {
+                    job: JobId::new(TaskId(0), 1),
+                    outcome: JobOutcome::Missed,
+                    at: Time::from_ms(4),
+                },
+                JobResolution {
+                    job: JobId::new(TaskId(0), 2),
+                    outcome: JobOutcome::Missed,
+                    at: Time::from_ms(9),
+                },
+            ],
+        };
+        let m = analyze_trace(&ts, &trace);
+        assert_eq!(m.per_task[0].met, 0);
+        assert_eq!(m.per_task[0].missed, 2);
+        let mean = m.per_task[0].mean_response_ms();
+        assert!(mean.is_finite());
+        assert_eq!(mean, 0.0);
+    }
+
+    #[test]
+    fn all_backups_canceled_attributes_every_backup_tick_as_waste() {
+        // Hand-built schedule: both backup segments end Canceled, so all
+        // backup work must be attributed to `canceled_backup_work` and
+        // none of it may leak into main/optional busy time.
+        let ts = two_task_set();
+        let seg = |task: usize, index: u64, kind, start_ms, end_ms, ended| Segment {
+            proc: ProcId::SPARE,
+            job: JobId::new(TaskId(task), index),
+            kind,
+            start: Time::from_ms(start_ms),
+            end: Time::from_ms(end_ms),
+            ended,
+        };
+        let trace = Trace {
+            segments: vec![
+                seg(0, 1, CopyKind::Main, 0, 3, SegmentEnd::Completed),
+                seg(0, 1, CopyKind::Backup, 1, 3, SegmentEnd::Canceled),
+                seg(0, 2, CopyKind::Backup, 5, 8, SegmentEnd::Canceled),
+            ],
+            resolutions: vec![JobResolution {
+                job: JobId::new(TaskId(0), 1),
+                outcome: JobOutcome::Met,
+                at: Time::from_ms(3),
+            }],
+        };
+        let m = analyze_trace(&ts, &trace);
+        let row = &m.per_task[0];
+        assert_eq!(row.backup_busy, Time::from_ms(5));
+        assert_eq!(row.canceled_backup_work, Time::from_ms(5));
+        assert_eq!(m.total_canceled_backup_work(), Time::from_ms(5));
+        assert_eq!(row.main_busy, Time::from_ms(3));
+        assert_eq!(row.optional_busy, Time::ZERO);
+        assert_eq!(m.per_task[1].backup_busy, Time::ZERO);
     }
 }

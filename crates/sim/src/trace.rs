@@ -117,10 +117,7 @@ impl Trace {
         assert!(!scale.is_zero(), "gantt scale must be positive");
         let cols = until.div_ceil(scale) as usize;
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "time: one column = {scale}, span [0, {until})"
-        );
+        let _ = writeln!(out, "time: one column = {scale}, span [0, {until})");
         for &proc in &ProcId::ALL {
             let mut row = vec!['.'; cols];
             for seg in self.segments_on(proc) {
@@ -178,9 +175,12 @@ mod tests {
     #[test]
     fn busy_time_clamps_at_horizon() {
         let mut t = Trace::new();
-        t.segments.push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
-        t.segments.push(seg(ProcId::PRIMARY, 1, CopyKind::Main, 18, 22));
-        t.segments.push(seg(ProcId::SPARE, 0, CopyKind::Backup, 1, 2));
+        t.segments
+            .push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
+        t.segments
+            .push(seg(ProcId::PRIMARY, 1, CopyKind::Main, 18, 22));
+        t.segments
+            .push(seg(ProcId::SPARE, 0, CopyKind::Backup, 1, 2));
         assert_eq!(
             t.busy_time_within(ProcId::PRIMARY, Time::from_ms(20)),
             Time::from_ms(5)
@@ -194,8 +194,10 @@ mod tests {
     #[test]
     fn active_energy_sums_processors() {
         let mut t = Trace::new();
-        t.segments.push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
-        t.segments.push(seg(ProcId::SPARE, 0, CopyKind::Backup, 5, 9));
+        t.segments
+            .push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
+        t.segments
+            .push(seg(ProcId::SPARE, 0, CopyKind::Backup, 5, 9));
         let e = t.active_energy_within(&PowerModel::active_only(), Time::from_ms(20));
         assert!((e.units() - 7.0).abs() < 1e-12);
     }
@@ -203,9 +205,12 @@ mod tests {
     #[test]
     fn gantt_renders_rows() {
         let mut t = Trace::new();
-        t.segments.push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
-        t.segments.push(seg(ProcId::SPARE, 1, CopyKind::Backup, 2, 4));
-        t.segments.push(seg(ProcId::PRIMARY, 1, CopyKind::Optional, 4, 5));
+        t.segments
+            .push(seg(ProcId::PRIMARY, 0, CopyKind::Main, 0, 3));
+        t.segments
+            .push(seg(ProcId::SPARE, 1, CopyKind::Backup, 2, 4));
+        t.segments
+            .push(seg(ProcId::PRIMARY, 1, CopyKind::Optional, 4, 5));
         let g = t.render_gantt_ms(Time::from_ms(6));
         assert!(g.contains(" primary: 111.o."), "got:\n{g}");
         assert!(g.contains("   spare: ..bb.."), "got:\n{g}");

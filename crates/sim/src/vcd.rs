@@ -154,8 +154,8 @@ fn miss_code(task: usize) -> char {
 /// The identifier-code portion of a VCD value-change line.
 fn signal_code(line: &str) -> &str {
     match line.split_once(' ') {
-        Some((_, code)) => code,          // vector: "b101 !"
-        None => &line[1..],               // scalar: "1A"
+        Some((_, code)) => code, // vector: "b101 !"
+        None => &line[1..],      // scalar: "1A"
     }
 }
 

@@ -55,10 +55,7 @@ fn backup_can_complete_first_and_cancels_the_main() {
         }
     }
     let ts = TaskSet::new(vec![Task::from_ms(20, 20, 4, 1, 2).unwrap()]).unwrap();
-    let config = SimConfig::builder()
-        .horizon_ms(20)
-        .active_only()
-        .build();
+    let config = SimConfig::builder().horizon_ms(20).active_only().build();
     let report = simulate(&ts, &mut SlowMainEagerBackup, &config);
     assert!(report.mk_assured());
     let trace = report.trace.as_ref().unwrap();
@@ -110,10 +107,7 @@ fn optional_feasibility_boundary_is_inclusive() {
         Task::from_ms(20, 10, 4, 1, 2).unwrap(),
     ])
     .unwrap();
-    let config = SimConfig::builder()
-        .horizon_ms(20)
-        .active_only()
-        .build();
+    let config = SimConfig::builder().horizon_ms(20).active_only().build();
     let report = simulate(&ts, &mut LateOptional, &config);
     assert_eq!(report.stats.optional_abandoned, 0);
     assert_eq!(report.stats.met, 2);
@@ -161,10 +155,7 @@ fn optional_one_tick_late_is_abandoned() {
         Task::from_ms(20, 10, 4, 1, 2).unwrap(),
     ])
     .unwrap();
-    let config = SimConfig::builder()
-        .horizon_ms(20)
-        .active_only()
-        .build();
+    let config = SimConfig::builder().horizon_ms(20).active_only().build();
     let report = simulate(&ts, &mut LateOptional, &config);
     assert_eq!(report.stats.optional_abandoned, 1);
     assert_eq!(report.stats.met, 1);
@@ -177,10 +168,7 @@ fn optional_one_tick_late_is_abandoned() {
 #[test]
 fn dvs_scaled_copy_runs_longer_at_lower_energy() {
     let ts = TaskSet::new(vec![Task::from_ms(100, 100, 10, 1, 2).unwrap()]).unwrap();
-    let config = SimConfig::builder()
-        .horizon_ms(200)
-        .active_only()
-        .build();
+    let config = SimConfig::builder().horizon_ms(200).active_only().build();
     let full = simulate(&ts, &mut Scaled(1000), &config);
     let half = simulate(&ts, &mut Scaled(500), &config);
     assert!(full.mk_assured() && half.mk_assured());
@@ -200,7 +188,10 @@ fn dvs_scaled_copy_runs_longer_at_lower_energy() {
     // postponed past the main's completion, so only mains burn energy).
     let full_e = full.energy[0].active.units();
     let half_e = half.energy[0].active.units();
-    assert!((half_e - full_e / 4.0).abs() < 1e-9, "{half_e} vs {full_e}/4");
+    assert!(
+        (half_e - full_e / 4.0).abs() < 1e-9,
+        "{half_e} vs {full_e}/4"
+    );
 }
 
 #[test]
@@ -231,7 +222,10 @@ fn fault_at_time_zero_on_primary() {
         &config,
     );
     assert!(report.mk_assured());
-    assert_eq!(report.stats.copies_lost, 0, "nothing existed to lose at t=0");
+    assert_eq!(
+        report.stats.copies_lost, 0,
+        "nothing existed to lose at t=0"
+    );
     // The primary never executed anything.
     let trace = report.trace.unwrap();
     assert_eq!(trace.segments_on(ProcId::PRIMARY).count(), 0);

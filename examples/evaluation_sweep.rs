@@ -9,11 +9,20 @@
 //! cargo run --release --example evaluation_sweep
 //! ```
 
+use std::sync::Arc;
+
 use mkss::prelude::*;
-use mkss_bench::experiment::{run_experiment, ExperimentConfig, Scenario};
+use mkss_bench::experiment::{run_experiment_observed, ExperimentConfig, HarnessObs, Scenario};
 use mkss_bench::table;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // MKSS_LOG=summary aggregates engine events across the whole sweep and
+    // prints the counter table at the end; MKSS_LOG=events additionally
+    // streams live per-scenario progress lines on stderr.
+    let log = LogLevel::from_env()?;
+    let registry = log.enabled().then(|| Arc::new(Registry::new(1)));
+    let progress =
+        (log == LogLevel::Events).then(|| Arc::new(Reporter::stderr()));
     for scenario in Scenario::ALL {
         let mut config = ExperimentConfig::fig6(scenario);
         // Scaled down for example speed; the fig6 binary uses 20 sets per
@@ -22,7 +31,12 @@ fn main() {
         config.plan.from = 0.2;
         config.plan.to = 0.8;
         config.horizon = Time::from_ms(400);
-        let result = run_experiment(&config);
+        let obs = HarnessObs {
+            registry: registry.clone(),
+            progress: progress.clone(),
+            label: format!("sweep {}", scenario.id()),
+        };
+        let result = run_experiment_observed(&config, 0, &obs);
         println!("{}", table::render(&result));
         let max_reduction = result
             .max_reduction_pct(PolicyKind::Selective, PolicyKind::DualPriority)
@@ -34,4 +48,8 @@ fn main() {
             result.mean_normalized(PolicyKind::DualPriority),
         );
     }
+    if let Some(registry) = &registry {
+        print!("{}", MetricsDoc::new(registry.snapshot()).render_table());
+    }
+    Ok(())
 }

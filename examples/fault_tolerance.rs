@@ -6,6 +6,8 @@
 //! cargo run --example fault_tolerance
 //! ```
 
+use std::sync::Arc;
+
 use mkss::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,6 +17,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     let horizon = Time::from_ms(100);
 
+    // MKSS_LOG=summary aggregates every scenario's engine events into one
+    // registry and prints the counter table at the end. (`events` would
+    // narrate the 200-scenario sweep line by line — too chatty here, so
+    // this example deliberately stops at counting.)
+    let log = LogLevel::from_env()?;
+    let registry = log.enabled().then(|| Arc::new(Registry::new(1)));
+    let mut ws = SimWorkspace::new();
+    if let Some(registry) = &registry {
+        ws.set_recorder(Some(Arc::new(registry.handle_at(0))));
+    }
+
     // Scenario 1: permanent fault on the primary at t = 7 ms.
     let config = SimConfig::builder()
         .horizon(horizon)
@@ -22,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .faults(FaultConfig::permanent(ProcId::PRIMARY, Time::from_ms(7)))
         .build();
     let mut policy = MkssSelective::new(&ts)?;
-    let report = simulate(&ts, &mut policy, &config);
+    let report = simulate_in(&mut ws, &ts, &mut policy, &config);
     println!("== permanent fault on the primary at 7ms ==");
     println!(
         "copies lost: {}, jobs met: {}, missed: {}, (m,k) assured: {}",
@@ -46,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .faults(FaultConfig::transient(0.05, 42))
         .build();
     let mut policy = MkssSelective::new(&ts)?;
-    let report = simulate(&ts, &mut policy, &config);
+    let report = simulate_in(&mut ws, &ts, &mut policy, &config);
     println!("\n== transient faults at 0.05/ms ==");
     println!(
         "transient faults: {}, backups completed: {}, backups canceled: {}, \
@@ -70,11 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .faults(FaultConfig::combined(proc, Time::from_ms(at), 0.01, at))
                 .build();
             let mut policy = MkssSelective::new(&ts)?;
-            let report = simulate(&ts, &mut policy, &config);
+            let report = simulate_in(&mut ws, &ts, &mut policy, &config);
             worst_missed = worst_missed.max(report.stats.missed);
             all_assured &= report.mk_assured();
         }
     }
     println!("200 fault scenarios simulated; all (m,k) assured: {all_assured}; worst missed-count: {worst_missed}");
+    if let Some(registry) = &registry {
+        print!("\n{}", MetricsDoc::new(registry.snapshot()).render_table());
+    }
     Ok(())
 }

@@ -5,9 +5,28 @@
 //! cargo run --example quickstart
 //! ```
 
+use std::sync::Arc;
+
+use mkss::obs::EchoRecorder;
 use mkss::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // MKSS_LOG=summary prints an engine-event counter table at the end;
+    // MKSS_LOG=events additionally narrates each event on stderr.
+    let log = LogLevel::from_env()?;
+    let registry = log.enabled().then(|| Arc::new(Registry::new(1)));
+    let mut ws = SimWorkspace::new();
+    if let Some(registry) = &registry {
+        let recorder: Arc<dyn Recorder> = match log {
+            LogLevel::Events => Arc::new(EchoRecorder::new(
+                registry.handle_at(0),
+                Arc::new(Reporter::stderr()),
+            )),
+            _ => Arc::new(registry.handle_at(0)),
+        };
+        ws.set_recorder(Some(recorder));
+    }
+
     // A task is (period, deadline, WCET, m, k): at least m of any k
     // consecutive jobs must complete by their deadlines. This is the
     // paper's Section III example set.
@@ -34,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for kind in PolicyKind::PAPER {
         let mut policy = kind.build(&ts, &BuildOptions::default())?;
-        let report = simulate(&ts, policy.as_mut(), &config);
+        let report = simulate_in(&mut ws, &ts, policy.as_mut(), &config);
         println!(
             "\n{}: active energy {} over {horizon}, met {} / missed {}, (m,k) assured: {}",
             report.policy,
@@ -46,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(trace) = &report.trace {
             print!("{}", trace.render_gantt_ms(horizon));
         }
+    }
+    if let Some(registry) = &registry {
+        print!("\n{}", MetricsDoc::new(registry.snapshot()).render_table());
     }
     Ok(())
 }

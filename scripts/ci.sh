@@ -5,11 +5,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== rustfmt (check) =="
-cargo fmt --check -p mkss-core -p mkss-workload -p mkss-bench -p mkss-cli
+cargo fmt --check -p mkss-core -p mkss-workload -p mkss-obs -p mkss-bench \
+    -p mkss-cli
 
 echo "== clippy (deny warnings) =="
-cargo clippy -p mkss-core -p mkss-workload -p mkss-bench -p mkss-cli \
-    --all-targets -- -D warnings
+cargo clippy -p mkss-core -p mkss-workload -p mkss-obs -p mkss-bench \
+    -p mkss-cli --all-targets -- -D warnings
 
 echo "== tier-1: build + tests =="
 cargo build --release
@@ -23,5 +24,44 @@ cargo build --examples
 
 echo "== bench smoke (each benchmark runs once) =="
 cargo bench -p mkss-bench --benches -- --test
+
+echo "== metrics export smoke (mkss-cli compare --metrics-out) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p mkss-cli -- generate --util 0.4 --seed 11 \
+    > "$tmpdir/set.json"
+cargo run --release -q -p mkss-cli -- compare "$tmpdir/set.json" \
+    --horizon-ms 200 --metrics-out "$tmpdir/metrics.json" > /dev/null
+python3 - "$tmpdir/metrics.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+missing = [k for k in ("meta", "counters", "histograms", "stages") if k not in doc]
+assert not missing, f"metrics document missing top-level keys: {missing}"
+for key in ("jobs_released", "backups_canceled", "backups_postponed",
+            "optional_executed", "faults_injected"):
+    assert key in doc["counters"], f"missing counter {key}"
+assert doc["counters"]["jobs_released"] > 0, "compare smoke released no jobs"
+print("metrics document ok:", ", ".join(sorted(doc)))
+PY
+
+echo "== sim_bench drift check (warn-only) =="
+cargo run --release -q -p mkss-bench --bin sim_bench -- \
+    --sets 4 --reps 2 --out "$tmpdir/bench.json" 2>/dev/null
+python3 - "$tmpdir/bench.json" BENCH_sim.json <<'PY'
+import json, sys
+now = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+# jobs_per_second is roughly invariant to the shortened --sets/--reps, so
+# it is comparable against the tracked baseline. Report (never fail) on a
+# >25% drop: shared-machine noise makes this a tripwire, not a gate.
+for path in ("fresh", "reuse"):
+    measured = now[path]["jobs_per_second"]
+    reference = baseline[path]["jobs_per_second"]
+    if measured < 0.75 * reference:
+        print(f"WARNING: {path} throughput {measured:,.0f} jobs/s is >25% "
+              f"below the BENCH_sim.json baseline {reference:,.0f} jobs/s")
+    else:
+        print(f"{path}: {measured:,.0f} jobs/s (baseline {reference:,.0f}: ok)")
+PY
 
 echo "CI gate passed."

@@ -12,6 +12,7 @@
 //! | [`sim`] | `mkss-sim` | deterministic dual-processor simulator: MJQ/OJQ dispatch, faults, DPD energy |
 //! | [`policies`] | `mkss-policies` | `MKSS_ST`, `MKSS_DP`, `MKSS_selective`, greedy + ablation variants |
 //! | [`workload`] | `mkss-workload` | the Section-V random task-set generator |
+//! | [`obs`] | `mkss-obs` | zero-dep observability: engine-event recorders, counter/histogram registry, metrics export |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 
 pub use mkss_analysis as analysis;
 pub use mkss_core as core;
+pub use mkss_obs as obs;
 pub use mkss_policies as policies;
 pub use mkss_sim as sim;
 pub use mkss_workload as workload;
@@ -60,6 +62,9 @@ pub mod prelude {
         BackupDelay, BuildOptions, BuildPolicyError, DynamicConfig, DynamicPolicy, MainPlacement,
         MkssDp, MkssDpDvs, MkssSelective, MkssSt, MkssStRotated, OptionalPlacement,
         ParsePolicyKindError, PolicyKind, SelectionRule,
+    };
+    pub use mkss_obs::{
+        CounterId, HistogramId, LogLevel, MetricsDoc, NoopRecorder, Recorder, Registry, Reporter,
     };
     pub use mkss_sim::metrics::{analyze_trace, TraceMetrics};
     pub use mkss_sim::prelude::*;

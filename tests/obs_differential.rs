@@ -1,0 +1,97 @@
+//! Differential test for the observability layer's central contract: a
+//! recorder attached to the workspace **observes** the simulation but
+//! never feeds back into it, so a recorder-on run's [`SimReport`] must be
+//! byte-for-byte identical (under serde_json) to the recorder-off run —
+//! across task sets, every paper policy, fault scenarios, and trace
+//! recording on and off. Alongside, the registry totals themselves must
+//! be deterministic: two recorder-on runs of the same input count the
+//! same events.
+
+use std::sync::Arc;
+
+use mkss::obs::{CounterId, Registry};
+use mkss::prelude::*;
+
+fn fault_configs() -> Vec<FaultConfig> {
+    vec![
+        FaultConfig::none(),
+        FaultConfig::permanent(ProcId::PRIMARY, Time::from_ms(137)),
+        FaultConfig::combined(ProcId::PRIMARY, Time::from_ms(333), 1e-4, 0xfa17),
+        FaultConfig::transient(5e-4, 0x7ea5),
+    ]
+}
+
+#[test]
+fn recorder_on_reports_are_byte_identical_to_recorder_off() {
+    let horizon = Time::from_ms(500);
+    let registry = Arc::new(Registry::new(1));
+    let mut plain_ws = SimWorkspace::new();
+    let mut observed_ws = SimWorkspace::with_recorder(Arc::new(registry.handle_at(0)));
+    let mut runs = 0u32;
+    for (seed, util) in [(11u64, 0.3), (22, 0.5), (33, 0.7)] {
+        let Some(ts) = Generator::new(WorkloadConfig::paper(), seed).schedulable_set(util) else {
+            continue;
+        };
+        for faults in fault_configs() {
+            for record_trace in [false, true] {
+                let config = SimConfig::builder()
+                    .horizon(horizon)
+                    .faults(faults)
+                    .record_trace(record_trace)
+                    .build();
+                for kind in PolicyKind::PAPER {
+                    let mut plain_policy =
+                        kind.build(&ts, &BuildOptions::default()).expect("schedulable");
+                    let mut observed_policy =
+                        kind.build(&ts, &BuildOptions::default()).expect("schedulable");
+                    let plain = simulate_in(&mut plain_ws, &ts, plain_policy.as_mut(), &config);
+                    let observed =
+                        simulate_in(&mut observed_ws, &ts, observed_policy.as_mut(), &config);
+                    assert_eq!(
+                        serde_json::to_string(&plain).expect("report serializes"),
+                        serde_json::to_string(&observed).expect("report serializes"),
+                        "recorder changed the report: seed {seed} util {util} \
+                         policy {kind} trace {record_trace} faults {faults:?}"
+                    );
+                    runs += 1;
+                }
+            }
+        }
+    }
+    assert!(runs >= 48, "differential probe barely ran ({runs} pairs)");
+    // The whole sweep released work, so the registry actually heard it.
+    let snap = registry.snapshot();
+    assert!(snap.counter(CounterId::JobsReleased) > 0);
+    assert_eq!(
+        snap.counter(CounterId::JobsMet) + snap.counter(CounterId::JobsMissed),
+        snap.counter(CounterId::JobsReleased),
+    );
+}
+
+#[test]
+fn registry_totals_are_reproducible() {
+    let ts = Generator::new(WorkloadConfig::paper(), 7)
+        .schedulable_set(0.6)
+        .expect("generatable");
+    let config = SimConfig::builder()
+        .horizon_ms(800)
+        .faults(FaultConfig::combined(
+            ProcId::PRIMARY,
+            Time::from_ms(444),
+            2e-4,
+            99,
+        ))
+        .build();
+    let mut snapshots = Vec::new();
+    for _ in 0..2 {
+        let registry = Arc::new(Registry::new(4));
+        let mut ws = SimWorkspace::with_recorder(Arc::new(registry.handle()));
+        for kind in PolicyKind::PAPER {
+            let mut policy = kind.build(&ts, &BuildOptions::default()).unwrap();
+            simulate_in(&mut ws, &ts, policy.as_mut(), &config);
+        }
+        snapshots.push(registry.snapshot());
+    }
+    assert_eq!(snapshots[0], snapshots[1]);
+    assert!(!snapshots[0].is_zero());
+}
