@@ -41,11 +41,11 @@ pub mod util_bound;
 /// Commonly used analysis entry points.
 pub mod prelude {
     pub use crate::exact::{exact_sweep, exact_sweep_rotated, ExactReport};
-    pub use crate::rotation::{find_rotation, RotationAssignment, RotationConfig};
     pub use crate::postpone::{
-        job_postponement, postponement_intervals, JobPostponement, PostponeConfig,
-        PostponeError, Postponement,
+        job_postponement, postponement_intervals, JobPostponement, PostponeConfig, PostponeError,
+        Postponement,
     };
+    pub use crate::rotation::{find_rotation, RotationAssignment, RotationConfig};
     pub use crate::rta::{
         analyze, is_schedulable_r_pattern, promotion_times, response_time, InterferenceModel,
         SchedulabilityReport, TaskResponse,

@@ -167,9 +167,7 @@ pub fn postponement_intervals(
         // Fallback / floor: the promotion time is always safe; never go
         // below it (nor below zero).
         let effective = match raw {
-            Some(t) if t > promotion[i.0].ticks() as i128 => {
-                Time::from_ticks(t as u64)
-            }
+            Some(t) if t > promotion[i.0].ticks() as i128 => Time::from_ticks(t as u64),
             _ => promotion[i.0],
         };
         theta.push(effective);
@@ -308,7 +306,7 @@ fn theta_for_job(
 /// bound assumes strictly periodic higher-priority releases, and
 /// per-job jitter above it can squeeze two releases closer than a
 /// period and break it (found by a 400-case property soak; see
-/// DESIGN.md §6). [`job_postponement`] therefore degrades the **whole**
+/// DESIGN.md §7). [`job_postponement`] therefore degrades the **whole**
 /// assignment to constant task-level delays unless *every* mandatory
 /// position of *every* task got a pure pool-based `θ_ij ≥ Y_i`.
 ///
@@ -432,18 +430,9 @@ mod tests {
         // Y2 = 15 − 14 = 1 per the paper's closing remark: θ2 ≫ Y2.
         assert_eq!(post.promotion[1], Time::from_ms(1));
         // Postponed releases per Eq. (3).
-        assert_eq!(
-            post.postponed_release(&ts, TaskId(0), 1),
-            Time::from_ms(7)
-        );
-        assert_eq!(
-            post.postponed_release(&ts, TaskId(0), 2),
-            Time::from_ms(17)
-        );
-        assert_eq!(
-            post.postponed_release(&ts, TaskId(1), 1),
-            Time::from_ms(4)
-        );
+        assert_eq!(post.postponed_release(&ts, TaskId(0), 1), Time::from_ms(7));
+        assert_eq!(post.postponed_release(&ts, TaskId(0), 2), Time::from_ms(17));
+        assert_eq!(post.postponed_release(&ts, TaskId(1), 1), Time::from_ms(4));
     }
 
     #[test]
@@ -554,7 +543,7 @@ mod tests {
         let horizon = ts.hyperperiod();
         assert!(horizon < Time::from_ms(100_000), "test horizon too large");
         let step = TICKS_PER_MS; // all test inputs are whole-ms
-        // Collect jobs: (postponed release, deadline, wcet, remaining).
+                                 // Collect jobs: (postponed release, deadline, wcet, remaining).
         let mut jobs: Vec<(u64, u64, u64, u64, usize)> = Vec::new();
         for (id, task) in ts.iter() {
             let n = horizon.div_floor(task.period());

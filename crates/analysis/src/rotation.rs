@@ -63,11 +63,7 @@ impl RotationAssignment {
 
 /// Badness of a sweep: (number of missing tasks, summed worst responses).
 fn badness(report: &ExactReport) -> (usize, u128) {
-    let misses = report
-        .worst_response
-        .iter()
-        .filter(|r| r.is_none())
-        .count();
+    let misses = report.worst_response.iter().filter(|r| r.is_none()).count();
     let total: u128 = report
         .worst_response
         .iter()
@@ -108,8 +104,7 @@ pub fn find_rotation(ts: &TaskSet, config: RotationConfig) -> Option<RotationAss
         return None;
     }
     let cap = config.max_hyperperiod;
-    let mut patterns: Vec<RotatedPattern> =
-        vec![RotatedPattern::plain(config.base); ts.len()];
+    let mut patterns: Vec<RotatedPattern> = vec![RotatedPattern::plain(config.base); ts.len()];
     let mut best_report = exact_sweep_rotated(ts, &patterns, cap);
     if best_report.schedulable_forever() {
         return Some(RotationAssignment {
@@ -244,6 +239,9 @@ mod tests {
             }
             t += step;
         }
-        assert!(jobs.iter().all(|j| j.2 == 0), "work left at the hyperperiod");
+        assert!(
+            jobs.iter().all(|j| j.2 == 0),
+            "work left at the hyperperiod"
+        );
     }
 }

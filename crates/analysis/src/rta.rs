@@ -236,7 +236,8 @@ fn busy_window_response(ts: &TaskSet, task_id: TaskId, model: InterferenceModel)
             own_demand += task.wcet();
             // Finish time of this job: all own mandatory work up to and
             // including it, plus higher-priority interference.
-            let finish = response_time_at(ts, task_id, model, own_demand, release + task.deadline())?;
+            let finish =
+                response_time_at(ts, task_id, model, own_demand, release + task.deadline())?;
             if finish < release {
                 // The busy window actually ended before this release; the
                 // job starts a fresh (no-carry-in) window no worse than
@@ -282,11 +283,7 @@ fn busy_window_response(ts: &TaskSet, task_id: TaskId, model: InterferenceModel)
 pub fn promotion_times(ts: &TaskSet, model: InterferenceModel) -> Option<Vec<Time>> {
     let report = analyze(ts, model);
     ts.ids()
-        .map(|id| {
-            report
-                .response_time(id)
-                .map(|r| ts.task(id).deadline() - r)
-        })
+        .map(|id| report.response_time(id).map(|r| ts.task(id).deadline() - r))
         .collect()
 }
 

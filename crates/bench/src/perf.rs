@@ -128,6 +128,7 @@ pub fn measure(config: &SimBenchConfig) -> SimBenchReport {
         let mut workspace = SimWorkspace::new();
         let mut best = f64::INFINITY;
         for _ in 0..config.reps.max(1) {
+            // mkss-lint: allow(nondeterminism) — throughput measurement; wall time is the measured quantity here
             let start = Instant::now();
             for ts in &sets {
                 for &kind in &config.policies {

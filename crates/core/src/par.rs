@@ -74,6 +74,7 @@ where
     }
     slots
         .into_iter()
+        // mkss-lint: allow(no-unwrap-in-lib) — the worker pool claims each index exactly once, so every slot is filled
         .map(|s| s.expect("every index was claimed by exactly one worker"))
         .collect()
 }

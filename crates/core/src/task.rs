@@ -327,6 +327,7 @@ impl FromIterator<Task> for TaskSet {
     /// Panics if the iterator is empty; use [`TaskSet::new`] for fallible
     /// construction.
     fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        // mkss-lint: allow(no-unwrap-in-lib) — FromIterator cannot return Result; the panic is documented above
         TaskSet::new(iter.into_iter().collect()).expect("non-empty task iterator")
     }
 }

@@ -175,6 +175,7 @@ impl Add for Time {
     type Output = Time;
     #[inline]
     fn add(self, rhs: Time) -> Time {
+        // mkss-lint: allow(no-unwrap-in-lib) — operator impls cannot return Result; overflow means ≈584k simulated years
         Time(self.0.checked_add(rhs.0).expect("time overflow"))
     }
 }
@@ -194,6 +195,7 @@ impl Sub for Time {
     /// may be unordered.
     #[inline]
     fn sub(self, rhs: Time) -> Time {
+        // mkss-lint: allow(no-unwrap-in-lib) — operator impls cannot return Result; underflow is documented, use saturating_sub
         Time(self.0.checked_sub(rhs.0).expect("time underflow"))
     }
 }
@@ -209,6 +211,7 @@ impl Mul<u64> for Time {
     type Output = Time;
     #[inline]
     fn mul(self, rhs: u64) -> Time {
+        // mkss-lint: allow(no-unwrap-in-lib) — operator impls cannot return Result; job indices are horizon-bounded
         Time(self.0.checked_mul(rhs).expect("time overflow"))
     }
 }

@@ -1,0 +1,126 @@
+//! Rule `error-hygiene`: every `pub` `*Error` type follows the PR-2
+//! convention — `#[non_exhaustive]`, plus `Display` and
+//! `std::error::Error` impls.
+//!
+//! `#[non_exhaustive]` keeps adding variants/fields non-breaking; the
+//! two impls make every error usable with `?` into
+//! `Box<dyn std::error::Error>` and printable in harness diagnostics.
+//!
+//! Declarations are collected per file and resolved against impls seen
+//! *anywhere* in the linted universe (impls commonly live next to the
+//! type, but the rule does not require that), so this is the one rule
+//! with a workspace-wide finalize step.
+
+use super::{FileCtx, Finding, ERROR_HYGIENE};
+
+/// Accumulates declarations and impls across files; [`finalize`]
+/// produces the findings.
+///
+/// [`finalize`]: ErrorHygiene::finalize
+#[derive(Debug, Default)]
+pub struct ErrorHygiene {
+    /// (path, line, type name, has `#[non_exhaustive]`).
+    decls: Vec<(String, u32, String, bool)>,
+    display_for: Vec<String>,
+    error_for: Vec<String>,
+}
+
+impl ErrorHygiene {
+    pub fn collect(&mut self, ctx: &FileCtx<'_>) {
+        for i in 0..ctx.toks.len() {
+            if !ctx.live(i) {
+                continue;
+            }
+            let t = ctx.tok(i);
+            // `pub struct XError` / `pub(crate) enum XError`.
+            if t.is_ident("pub") {
+                let mut j = i + 1;
+                if ctx.tok(j).is_punct('(') {
+                    while j < ctx.toks.len() && !ctx.tok(j).is_punct(')') {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                if ctx.tok(j).is_ident("struct") || ctx.tok(j).is_ident("enum") {
+                    let name = ctx.tok(j + 1);
+                    if name.text.len() > "Error".len() && name.text.ends_with("Error") {
+                        self.decls.push((
+                            ctx.path.to_string(),
+                            name.line,
+                            name.text.to_string(),
+                            has_non_exhaustive_attr(ctx, i),
+                        ));
+                    }
+                }
+            }
+            // `impl … Display for X` / `impl … Error for X`. `StdError`
+            // is accepted as the workspace's conventional alias
+            // (`use std::error::Error as StdError`).
+            if t.is_ident("for") && ctx.tok(i + 1).kind == crate::lexer::TokKind::Ident {
+                let prev = ctx.tok(i.wrapping_sub(1));
+                let target = || ctx.tok(i + 1).text.to_string();
+                if prev.is_ident("Display") {
+                    self.display_for.push(target());
+                } else if prev.is_ident("Error") || prev.is_ident("StdError") {
+                    self.error_for.push(target());
+                }
+            }
+        }
+    }
+
+    pub fn finalize(self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (path, line, name, non_exhaustive) in self.decls {
+            let mut missing = Vec::new();
+            if !non_exhaustive {
+                missing.push("#[non_exhaustive]");
+            }
+            if !self.display_for.iter().any(|n| n == &name) {
+                missing.push("a Display impl");
+            }
+            if !self.error_for.iter().any(|n| n == &name) {
+                missing.push("a std::error::Error impl");
+            }
+            if !missing.is_empty() {
+                out.push(Finding {
+                    path,
+                    line,
+                    rule: ERROR_HYGIENE,
+                    message: format!(
+                        "pub error type `{name}` is missing {} (convention: every \
+                         pub *Error is non_exhaustive and implements Display + Error)",
+                        missing.join(" and ")
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Scans the attribute groups immediately preceding token `i` (the
+/// `pub` keyword) for `#[non_exhaustive]`. Consecutive attributes in
+/// any order are understood; doc comments contribute no tokens and so
+/// never break the chain.
+fn has_non_exhaustive_attr(ctx: &FileCtx<'_>, i: usize) -> bool {
+    let mut k = i;
+    while k >= 1 && ctx.tok(k - 1).is_punct(']') {
+        // Walk back to the nearest `#[`.
+        let close = k - 1;
+        let mut open = close;
+        while open > 0 && !(ctx.tok(open).is_punct('[') && ctx.tok(open - 1).is_punct('#')) {
+            open -= 1;
+        }
+        if open == 0 {
+            return false;
+        }
+        if ctx.toks[open..close]
+            .iter()
+            .any(|t| t.is_ident("non_exhaustive"))
+        {
+            return true;
+        }
+        k = open - 1; // continue before the `#`
+    }
+    false
+}

@@ -1,0 +1,110 @@
+//! Rule `hot-path-alloc`: no allocating constructors inside declared
+//! hot-path regions.
+//!
+//! PR 2's guarantee — the steady-state event loop performs zero
+//! allocations per event — is enforced at runtime by the counting
+//! global allocator in `crates/sim/tests/zero_alloc.rs`. This rule
+//! makes the same contract visible at review time: the allocation-free
+//! span of `crates/sim/src/engine.rs` is bracketed by
+//!
+//! ```text
+//! // mkss-lint: hot-path begin
+//! …
+//! // mkss-lint: hot-path end
+//! ```
+//!
+//! and inside such a region every allocating constructor pattern is a
+//! finding. `Vec::push` and friends are deliberately *not* flagged:
+//! pushing into a workspace-owned buffer only allocates past retained
+//! capacity, which is exactly the arena design — the rule targets
+//! fresh-allocation sites, the runtime test owns the amortized story.
+
+use super::{FileCtx, Finding, HOT_PATH_ALLOC};
+use crate::lexer::DirectiveKind;
+
+/// Macros that always allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+/// `Type::ctor` pairs that always allocate.
+const ALLOC_TYPES: &[&str] = &["Vec", "Box", "String", "Arc", "Rc", "VecDeque"];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_utf8", "to_string"];
+/// Methods that clone into a fresh allocation.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    // Resolve the marker comments into inclusive line regions, flagging
+    // unbalanced markers (a silently-unclosed region would disable the
+    // rule for the rest of the file — or worse, enable it forever).
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut open: Option<u32> = None;
+    for d in ctx.directives {
+        match d.kind {
+            DirectiveKind::HotPathBegin => {
+                if let Some(begin) = open {
+                    out.push(ctx.finding(
+                        d.line,
+                        HOT_PATH_ALLOC,
+                        format!("nested `hot-path begin` (region already open since line {begin})"),
+                    ));
+                } else {
+                    open = Some(d.line);
+                }
+            }
+            DirectiveKind::HotPathEnd => match open.take() {
+                Some(begin) => regions.push((begin, d.line)),
+                None => out.push(ctx.finding(
+                    d.line,
+                    HOT_PATH_ALLOC,
+                    "`hot-path end` without a matching begin".to_string(),
+                )),
+            },
+            _ => {}
+        }
+    }
+    if let Some(begin) = open {
+        out.push(ctx.finding(
+            begin,
+            HOT_PATH_ALLOC,
+            "unclosed `hot-path begin` region".to_string(),
+        ));
+    }
+    if regions.is_empty() {
+        return;
+    }
+    let in_region = |line: u32| regions.iter().any(|&(b, e)| b <= line && line <= e);
+
+    for i in 0..ctx.toks.len() {
+        if !ctx.live(i) {
+            continue;
+        }
+        let t = ctx.tok(i);
+        if !in_region(t.line) {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        if ALLOC_MACROS.iter().any(|m| t.is_ident(m)) && ctx.tok(i + 1).is_punct('!') {
+            hit = Some(format!("{}!", t.text));
+        } else if ALLOC_TYPES.iter().any(|ty| t.is_ident(ty))
+            && ctx.tok(i + 1).is_punct(':')
+            && ctx.tok(i + 2).is_punct(':')
+            && ALLOC_CTORS.iter().any(|c| ctx.tok(i + 3).is_ident(c))
+        {
+            hit = Some(format!("{}::{}", t.text, ctx.tok(i + 3).text));
+        } else if ALLOC_METHODS.iter().any(|m| t.is_ident(m))
+            && ctx.tok(i.wrapping_sub(1)).is_punct('.')
+            && ctx.tok(i + 1).is_punct('(')
+        {
+            hit = Some(format!(".{}()", t.text));
+        }
+        if let Some(what) = hit {
+            out.push(ctx.finding(
+                t.line,
+                HOT_PATH_ALLOC,
+                format!(
+                    "allocating constructor `{what}` inside a hot-path region; \
+                     the engine event loop must stay zero-allocation \
+                     (see crates/sim/tests/zero_alloc.rs)"
+                ),
+            ));
+        }
+    }
+}

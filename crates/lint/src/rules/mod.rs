@@ -1,0 +1,175 @@
+//! The rule catalog and the per-file context rules run against.
+//!
+//! Every rule is a token-pattern pass over one lexed file (plus, for
+//! `error-hygiene`, a workspace-wide finalize step, and for
+//! `vendored-deps-only`, a manifest scan instead of a token scan).
+//! Findings are suppressible only by an explicit
+//! `// mkss-lint: allow(<rule>) — <reason>` on the same or the
+//! preceding line; the reason is mandatory and unused allows are
+//! themselves findings, so suppressions stay auditable.
+
+use crate::lexer::{Directive, Tok};
+
+pub mod error_hygiene;
+pub mod hot_path_alloc;
+pub mod no_unwrap;
+pub mod nondeterminism;
+pub mod recorder_gate;
+pub mod vendored_deps;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule ID from [`RULES`].
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// Rule IDs (used by findings and `allow(...)` directives).
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+pub const NO_UNWRAP_IN_LIB: &str = "no-unwrap-in-lib";
+pub const NONDETERMINISM: &str = "nondeterminism";
+pub const ERROR_HYGIENE: &str = "error-hygiene";
+pub const VENDORED_DEPS_ONLY: &str = "vendored-deps-only";
+pub const RECORDER_GATED_EMIT: &str = "recorder-gated-emit";
+pub const MALFORMED_DIRECTIVE: &str = "malformed-directive";
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// The full catalog.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: HOT_PATH_ALLOC,
+        summary: "no allocating constructors (Vec::new, vec!, Box::new, to_vec, \
+                  collect, String::from, format!, …) inside `mkss-lint: hot-path` \
+                  regions — keeps the engine's zero-allocation guarantee visible \
+                  at review time",
+    },
+    RuleInfo {
+        id: NO_UNWRAP_IN_LIB,
+        summary: "no unwrap()/expect()/panic! in non-test code of the library \
+                  crates (core, workload, policies, analysis, sim, obs); \
+                  provably-infallible sites carry an annotated expect",
+    },
+    RuleInfo {
+        id: NONDETERMINISM,
+        summary: "no HashMap/HashSet (iteration order varies per process), no \
+                  Instant::now/SystemTime::now outside annotated harness timing \
+                  sites, no thread_rng — protects cross-`--jobs` byte-identity",
+    },
+    RuleInfo {
+        id: ERROR_HYGIENE,
+        summary: "every `pub` *Error type is #[non_exhaustive] and has Display \
+                  and std::error::Error impls",
+    },
+    RuleInfo {
+        id: VENDORED_DEPS_ONLY,
+        summary: "every Cargo.toml dependency is a path/workspace dep (vendored \
+                  or in-tree); registry and git deps can never build here",
+    },
+    RuleInfo {
+        id: RECORDER_GATED_EMIT,
+        summary: "every recorder incr/observe call in crates/sim sits inside an \
+                  `if let Some(recorder)` gate, so the recorder-off path stays \
+                  one branch per emit site",
+    },
+    RuleInfo {
+        id: MALFORMED_DIRECTIVE,
+        summary: "an `mkss-lint:` comment that does not parse (typo, missing \
+                  reason, unknown rule) is an error, never silently ignored",
+    },
+    RuleInfo {
+        id: UNUSED_ALLOW,
+        summary: "an allow(...) annotation that suppresses nothing must be \
+                  removed",
+    },
+];
+
+/// True when `id` names a catalogued rule.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Everything a token rule sees about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    pub toks: &'a [Tok<'a>],
+    /// `mask[i]` is true when token `i` sits in test-only code
+    /// (`#[cfg(test)]` / `#[test]` items); rules skip those tokens.
+    pub mask: &'a [bool],
+    pub directives: &'a [Directive],
+}
+
+impl<'a> FileCtx<'a> {
+    /// Token at `i`, or a sentinel that matches nothing.
+    pub fn tok(&self, i: usize) -> Tok<'a> {
+        const NONE: Tok<'static> = Tok {
+            kind: crate::lexer::TokKind::Punct('\0'),
+            text: "",
+            line: 0,
+        };
+        self.toks.get(i).copied().unwrap_or(NONE)
+    }
+
+    /// True when token `i` is live (exists and is not test-masked).
+    pub fn live(&self, i: usize) -> bool {
+        i < self.toks.len() && !self.mask.get(i).copied().unwrap_or(false)
+    }
+
+    pub fn finding(&self, line: u32, rule: &'static str, message: String) -> Finding {
+        Finding {
+            path: self.path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+/// Path helpers shared by rule scopes. Paths are workspace-relative
+/// with forward slashes.
+pub mod scope {
+    /// The six library crates covered by `no-unwrap-in-lib`.
+    pub const LIB_CRATES: &[&str] = &[
+        "crates/core/src/",
+        "crates/workload/src/",
+        "crates/policies/src/",
+        "crates/analysis/src/",
+        "crates/sim/src/",
+        "crates/obs/src/",
+    ];
+
+    pub fn in_lib_crate(path: &str) -> bool {
+        LIB_CRATES.iter().any(|p| path.starts_with(p))
+    }
+
+    /// Integration-test and bench sources: exempt from the rules that
+    /// only guard shipped code paths.
+    pub fn is_test_source(path: &str) -> bool {
+        path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
+    }
+
+    pub fn in_sim_src(path: &str) -> bool {
+        path.starts_with("crates/sim/src/")
+    }
+}

@@ -1,0 +1,54 @@
+//! Rule `no-unwrap-in-lib`: no `unwrap()` / `expect()` / `panic!` /
+//! `todo!` / `unimplemented!` in non-test code of the library crates.
+//!
+//! The library crates are consumed by the harness across millions of
+//! simulated runs; a panic there aborts a whole sweep. Fallible
+//! operations must return the crates' `#[non_exhaustive]` error types
+//! (see rule `error-hygiene`); provably-infallible sites keep an
+//! `expect` with an invariant message plus an explicit
+//! `// mkss-lint: allow(no-unwrap-in-lib) — <why it cannot fail>`.
+//!
+//! Doc-comment examples and `#[cfg(test)]` / `#[test]` code are exempt
+//! (the lexer drops comments; the engine masks test items).
+
+use super::{scope, FileCtx, Finding, NO_UNWRAP_IN_LIB};
+
+/// Panicking macros flagged alongside the methods.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !scope::in_lib_crate(ctx.path) {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        if !ctx.live(i) {
+            continue;
+        }
+        let t = ctx.tok(i);
+        // `.unwrap()` / `::unwrap()` — but not `unwrap_or`, which is a
+        // different identifier token entirely.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && (ctx.tok(i.wrapping_sub(1)).is_punct('.')
+                || ctx.tok(i.wrapping_sub(1)).is_punct(':'))
+            && ctx.tok(i + 1).is_punct('(')
+        {
+            out.push(ctx.finding(
+                t.line,
+                NO_UNWRAP_IN_LIB,
+                format!(
+                    "`{}` in library non-test code: return the crate's error \
+                     type, or annotate a provably-infallible site with \
+                     `// mkss-lint: allow({NO_UNWRAP_IN_LIB}) — <invariant>`",
+                    t.text
+                ),
+            ));
+        }
+        if PANIC_MACROS.iter().any(|m| t.is_ident(m)) && ctx.tok(i + 1).is_punct('!') {
+            out.push(ctx.finding(
+                t.line,
+                NO_UNWRAP_IN_LIB,
+                format!("`{}!` in library non-test code aborts whole sweeps", t.text),
+            ));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Rule `nondeterminism`: sources of run-to-run variation are banned
+//! from shipped code paths.
+//!
+//! PR 1's contract is that every experiment binary produces
+//! byte-identical output for every `--jobs` value; PR 3 extends that to
+//! jobs-invariant counters. Three source patterns can silently break it:
+//!
+//! * `HashMap` / `HashSet` — iteration order varies per process
+//!   (SipHash keys are randomized), so any fold over one is
+//!   nondeterministic; use `BTreeMap`/`BTreeSet` or a sorted `Vec`;
+//! * `Instant::now` / `SystemTime::now` — wall-clock reads are fine for
+//!   *timing* but must never feed results; the harness timing sites are
+//!   annotated individually;
+//! * `thread_rng` — an OS-seeded RNG; all randomness must come from the
+//!   per-bucket seeded `ChaCha` streams.
+//!
+//! Integration tests and benches are exempt (they may hash or time
+//! freely); `#[cfg(test)]` code is masked by the engine.
+
+use super::{scope, FileCtx, Finding, NONDETERMINISM};
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if scope::is_test_source(ctx.path) {
+        return;
+    }
+    for i in 0..ctx.toks.len() {
+        if !ctx.live(i) {
+            continue;
+        }
+        let t = ctx.tok(i);
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(ctx.finding(
+                t.line,
+                NONDETERMINISM,
+                format!(
+                    "`{}` has randomized iteration order; use BTreeMap/BTreeSet \
+                     or a sorted Vec so folds stay jobs-invariant",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_ident("thread_rng") {
+            out.push(ctx.finding(
+                t.line,
+                NONDETERMINISM,
+                "`thread_rng` is OS-seeded; use the per-bucket seeded ChaCha streams".to_string(),
+            ));
+        }
+        // `Instant::now` / `SystemTime::now` as a path expression.
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && ctx.tok(i + 1).is_punct(':')
+            && ctx.tok(i + 2).is_punct(':')
+            && ctx.tok(i + 3).is_ident("now")
+        {
+            out.push(ctx.finding(
+                t.line,
+                NONDETERMINISM,
+                format!(
+                    "`{}::now` outside an annotated harness timing site; \
+                     wall-clock reads must never feed results",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

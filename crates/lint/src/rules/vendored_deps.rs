@@ -1,0 +1,180 @@
+//! Rule `vendored-deps-only`: every Cargo.toml dependency must be a
+//! `path` dep (into `vendor/` or the workspace) or a `workspace = true`
+//! reference to one.
+//!
+//! The build container has no registry or network access; PR 1 made
+//! that a policy by vendoring every external crate as an in-tree subset
+//! under `vendor/`. A registry (`foo = "1.0"`) or git dependency can
+//! therefore *never* build here — this rule catches one at review time
+//! instead of at the first clean checkout.
+//!
+//! The scanner is a minimal hand-rolled pass over the manifest — it
+//! understands `[dependencies]`-family sections (including
+//! `[workspace.dependencies]` and target-specific tables), dotted keys
+//! (`serde.workspace = true`), inline tables, and
+//! `[dependencies.<name>]` subsections; that covers every manifest in
+//! this workspace and fails loudly (a finding, not a skip) on what it
+//! cannot prove is a path dep.
+
+use super::{Finding, VENDORED_DEPS_ONLY};
+use crate::lexer::{parse_directive, Directive};
+
+/// Result of scanning one manifest: findings plus any suppression
+/// directives found in `#` comments.
+#[derive(Debug, Default)]
+pub struct ManifestScan {
+    pub findings: Vec<Finding>,
+    pub directives: Vec<Directive>,
+}
+
+/// Keys that mark a dependency as resolvable offline.
+const OK_KEYS: &[&str] = &["path", "workspace"];
+/// Keys that mark a dependency as needing the network.
+const BAD_KEYS: &[&str] = &["version", "git", "registry"];
+
+pub fn check(path: &str, src: &str) -> ManifestScan {
+    let mut scan = ManifestScan::default();
+    let mut section: Section = Section::Other;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_comment(raw, line_no, &mut scan.directives);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_subdep(path, &mut section, &mut scan.findings);
+            section = classify_section(line.trim_matches(['[', ']']), line_no);
+            continue;
+        }
+        let Some((lhs, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (lhs, value) = (lhs.trim(), value.trim());
+        match &mut section {
+            Section::Deps => check_entry(path, line_no, lhs, value, &mut scan.findings),
+            Section::SubDep { ok, bad, .. } => {
+                if OK_KEYS.contains(&lhs) {
+                    *ok = true;
+                }
+                if BAD_KEYS.contains(&lhs) {
+                    *bad = Some(lhs.to_string());
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    flush_subdep(path, &mut section, &mut scan.findings);
+    scan
+}
+
+enum Section {
+    /// A `[dependencies]`-family table of `name = spec` entries.
+    Deps,
+    /// A `[dependencies.<name>]` subsection; judged when it closes.
+    SubDep {
+        name: String,
+        line: u32,
+        ok: bool,
+        bad: Option<String>,
+    },
+    Other,
+}
+
+const DEP_TABLES: &[&str] = &["dependencies", "dev-dependencies", "build-dependencies"];
+
+fn classify_section(name: &str, line: u32) -> Section {
+    let is_dep_table = |s: &str| {
+        DEP_TABLES.contains(&s) || DEP_TABLES.iter().any(|t| s.ends_with(&format!(".{t}")))
+    };
+    if is_dep_table(name) {
+        return Section::Deps;
+    }
+    // `[dependencies.foo]` / `[workspace.dependencies.foo]` …
+    for table in DEP_TABLES {
+        for prefix in [format!("{table}."), format!("workspace.{table}.")] {
+            if let Some(dep) = name.strip_prefix(&prefix) {
+                if !dep.contains('.') {
+                    return Section::SubDep {
+                        name: dep.to_string(),
+                        line,
+                        ok: false,
+                        bad: None,
+                    };
+                }
+            }
+        }
+    }
+    Section::Other
+}
+
+fn flush_subdep(path: &str, section: &mut Section, out: &mut Vec<Finding>) {
+    if let Section::SubDep {
+        name,
+        line,
+        ok: false,
+        bad,
+    } = section
+    {
+        out.push(registry_finding(path, *line, name, bad.as_deref()));
+    }
+    *section = Section::Other;
+}
+
+/// One `name = spec` / `name.key = value` entry in a dep table.
+fn check_entry(path: &str, line: u32, lhs: &str, value: &str, out: &mut Vec<Finding>) {
+    if let Some((dep, key)) = lhs.split_once('.') {
+        if BAD_KEYS.contains(&key.trim()) {
+            out.push(registry_finding(path, line, dep.trim(), Some(key.trim())));
+        }
+        return; // `foo.workspace = true`, `foo.features = […]`, …
+    }
+    if value.starts_with('"') {
+        out.push(registry_finding(path, line, lhs, Some("version")));
+    } else if let Some(table) = value.strip_prefix('{') {
+        let table = table.trim_end_matches('}');
+        let mut keys = table
+            .split(',')
+            .filter_map(|kv| kv.split_once('=').map(|(k, _)| k.trim().to_string()));
+        let bad = keys.clone().find(|k| BAD_KEYS.contains(&k.as_str()));
+        let has_path = keys.any(|k| OK_KEYS.contains(&k.as_str()));
+        if !has_path {
+            out.push(registry_finding(path, line, lhs, bad.as_deref()));
+        }
+    }
+    // Bare booleans/numbers/arrays carry no source location; ignore.
+}
+
+fn registry_finding(path: &str, line: u32, dep: &str, key: Option<&str>) -> Finding {
+    let how = match key {
+        Some(k) => format!("uses `{k}`"),
+        None => "has no `path`/`workspace` key".to_string(),
+    };
+    Finding {
+        path: path.to_string(),
+        line,
+        rule: VENDORED_DEPS_ONLY,
+        message: format!(
+            "dependency `{dep}` {how}; this container has no registry/network \
+             access — vendor it under vendor/ and use a path or workspace dep"
+        ),
+    }
+}
+
+/// Strips a `#` comment (quote-aware) and harvests any directive in it.
+fn strip_comment<'a>(raw: &'a str, line: u32, directives: &mut Vec<Directive>) -> &'a str {
+    let mut in_str = false;
+    for (i, c) in raw.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => {
+                if let Some(d) = parse_directive(&raw[i + 1..], line) {
+                    directives.push(d);
+                }
+                return &raw[..i];
+            }
+            _ => {}
+        }
+    }
+    raw
+}

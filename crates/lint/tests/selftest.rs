@@ -1,0 +1,505 @@
+//! Rule self-tests: every rule has (at least) one fixture where it
+//! fires, one where an `allow` annotation suppresses it, and one where
+//! clean code stays silent.
+//!
+//! Fixtures are in-memory files run through [`mkss_lint::lint_sources`]
+//! under workspace-relative virtual paths, so rule scoping (library
+//! crates vs. harness vs. tests) is exercised exactly as in a real run.
+
+use mkss_lint::lint_sources;
+use mkss_lint::rules::Finding;
+
+/// Lints one virtual file.
+fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+    lint_sources(&[(path.to_string(), src.to_string())]).findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let found = lint_one(path, src);
+    assert!(found.is_empty(), "expected clean, got: {found:#?}");
+}
+
+fn assert_fires(path: &str, src: &str, rule: &str, times: usize) {
+    let found = lint_one(path, src);
+    let hits = found.iter().filter(|f| f.rule == rule).count();
+    assert_eq!(hits, times, "expected {rule} x{times}, got: {found:#?}");
+}
+
+/// Suppressed fixtures must produce zero findings *and* count the
+/// suppression (the allow is used, so no unused-allow either).
+fn assert_suppressed(path: &str, src: &str) {
+    let report = lint_sources(&[(path.to_string(), src.to_string())]);
+    assert!(
+        report.findings.is_empty(),
+        "expected full suppression, got: {:#?}",
+        report.findings
+    );
+    assert!(report.suppressed > 0, "nothing was suppressed");
+}
+
+// ---------------------------------------------------------------- //
+// no-unwrap-in-lib
+
+#[test]
+fn no_unwrap_fires_in_lib_crates() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == b { panic!("boom"); }
+    a
+}
+"#;
+    assert_fires("crates/core/src/fixture.rs", src, "no-unwrap-in-lib", 3);
+}
+
+#[test]
+fn no_unwrap_suppressed_by_allow() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // mkss-lint: allow(no-unwrap-in-lib) — x is Some by construction in this fixture
+    x.expect("present")
+}
+"#;
+    assert_suppressed("crates/sim/src/fixture.rs", src);
+}
+
+#[test]
+fn no_unwrap_clean_code_is_silent() {
+    // unwrap_or is a different identifier; unwrap in doc comments,
+    // strings, and #[cfg(test)] items is exempt; non-library crates
+    // (harness, cli) are out of scope.
+    let src = r#"
+/// Example: `x.unwrap()` panics on None.
+pub fn f(x: Option<u32>) -> u32 {
+    let msg = "never unwrap() in a string";
+    let _ = msg;
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1u32).unwrap();
+    }
+}
+"#;
+    assert_clean("crates/core/src/fixture.rs", src);
+    assert_clean(
+        "crates/bench/src/fixture.rs",
+        "pub fn f() { None::<u32>.unwrap(); }",
+    );
+}
+
+// ---------------------------------------------------------------- //
+// nondeterminism
+
+#[test]
+fn nondeterminism_fires_on_hash_collections_clocks_and_thread_rng() {
+    let src = r#"
+use std::collections::HashMap;
+pub fn f() {
+    let t = std::time::Instant::now();
+    let _ = (t, thread_rng());
+}
+"#;
+    assert_fires("crates/bench/src/fixture.rs", src, "nondeterminism", 3);
+}
+
+#[test]
+fn nondeterminism_suppressed_by_allow() {
+    let src = r#"
+pub fn stage_timer() -> std::time::Instant {
+    // mkss-lint: allow(nondeterminism) — timing only, never feeds results
+    std::time::Instant::now()
+}
+"#;
+    assert_suppressed("crates/bench/src/fixture.rs", src);
+}
+
+#[test]
+fn nondeterminism_clean_and_test_sources_exempt() {
+    assert_clean(
+        "crates/bench/src/fixture.rs",
+        "use std::collections::BTreeMap;\npub fn f(m: &BTreeMap<u32, u32>) -> u32 { m.len() as u32 }",
+    );
+    // Integration tests and benches may hash and time freely.
+    assert_clean(
+        "tests/fixture.rs",
+        "use std::collections::HashMap;\nfn f() { let _ = std::time::Instant::now(); }",
+    );
+    assert_clean(
+        "crates/bench/benches/fixture.rs",
+        "use std::collections::HashSet;\nfn f() -> HashSet<u32> { HashSet::new() }",
+    );
+}
+
+// ---------------------------------------------------------------- //
+// hot-path-alloc
+
+#[test]
+fn hot_path_alloc_fires_inside_region() {
+    let src = r#"
+fn cold() -> Vec<u32> { Vec::new() }
+// mkss-lint: hot-path begin
+fn hot(xs: &[u32]) -> Vec<u32> {
+    let v: Vec<u32> = xs.iter().copied().collect();
+    let w = vec![1u32];
+    let s = String::from("hi");
+    let b = Box::new(1u32);
+    let t = xs.to_vec();
+    let _ = (w, s, b, t);
+    v
+}
+// mkss-lint: hot-path end
+"#;
+    assert_fires("crates/sim/src/fixture.rs", src, "hot-path-alloc", 5);
+}
+
+#[test]
+fn hot_path_alloc_suppressed_by_allow() {
+    let src = r#"
+// mkss-lint: hot-path begin
+fn hot() -> Vec<u32> {
+    // mkss-lint: allow(hot-path-alloc) — cold error branch, runs at most once per simulation
+    Vec::new()
+}
+// mkss-lint: hot-path end
+"#;
+    assert_suppressed("crates/sim/src/fixture.rs", src);
+}
+
+#[test]
+fn hot_path_alloc_outside_region_is_silent() {
+    let src = r#"
+fn cold() -> Vec<u32> { vec![1, 2, 3] }
+// mkss-lint: hot-path begin
+fn hot(x: u32) -> u32 { x + 1 }
+// mkss-lint: hot-path end
+fn also_cold() -> String { format!("x") }
+"#;
+    assert_clean("crates/sim/src/fixture.rs", src);
+}
+
+#[test]
+fn hot_path_markers_must_balance() {
+    assert_fires(
+        "crates/sim/src/fixture.rs",
+        "// mkss-lint: hot-path begin\nfn f() {}\n",
+        "hot-path-alloc",
+        1,
+    );
+    assert_fires(
+        "crates/sim/src/fixture.rs",
+        "fn f() {}\n// mkss-lint: hot-path end\n",
+        "hot-path-alloc",
+        1,
+    );
+}
+
+// ---------------------------------------------------------------- //
+// error-hygiene
+
+#[test]
+fn error_hygiene_fires_on_bare_error_type() {
+    let src = "pub struct NakedError;\n";
+    let found = lint_one("crates/core/src/fixture.rs", src);
+    assert_eq!(rules_of(&found), vec!["error-hygiene"]);
+    assert!(found[0].message.contains("#[non_exhaustive]"));
+    assert!(found[0].message.contains("Display"));
+}
+
+#[test]
+fn error_hygiene_suppressed_by_allow() {
+    let src = "\
+// mkss-lint: allow(error-hygiene) — internal bridge type, never crosses the API
+pub struct BridgeError;
+";
+    assert_suppressed("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn error_hygiene_clean_on_convention() {
+    let src = r#"
+use std::error::Error as StdError;
+use std::fmt;
+
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GoodError {
+    Bad,
+}
+
+impl fmt::Display for GoodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad")
+    }
+}
+
+impl StdError for GoodError {}
+"#;
+    assert_clean("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn error_hygiene_resolves_impls_across_files() {
+    let decl = "#[non_exhaustive]\npub struct SplitError;\n";
+    let impls = "use std::fmt;\nuse crate::SplitError;\n\
+impl fmt::Display for SplitError { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"e\") } }\n\
+impl std::error::Error for SplitError {}\n";
+    let report = lint_sources(&[
+        ("crates/core/src/decl.rs".into(), decl.into()),
+        ("crates/core/src/impls.rs".into(), impls.into()),
+    ]);
+    assert!(report.findings.is_empty(), "got: {:#?}", report.findings);
+}
+
+// ---------------------------------------------------------------- //
+// vendored-deps-only
+
+#[test]
+fn vendored_deps_fires_on_registry_and_git_deps() {
+    let src = r#"
+[package]
+name = "fixture"
+
+[dependencies]
+serde = "1.0"
+rand = { version = "0.8", features = ["std"] }
+remote = { git = "https://example.com/remote" }
+
+[dependencies.sub]
+version = "2"
+"#;
+    assert_fires("crates/fixture/Cargo.toml", src, "vendored-deps-only", 4);
+}
+
+#[test]
+fn vendored_deps_suppressed_by_allow() {
+    let src = r#"
+[dependencies]
+# mkss-lint: allow(vendored-deps-only) — fixture demonstrating suppression syntax in manifests
+serde = "1.0"
+"#;
+    assert_suppressed("crates/fixture/Cargo.toml", src);
+}
+
+#[test]
+fn vendored_deps_clean_on_path_and_workspace_deps() {
+    let src = r#"
+[package]
+name = "fixture"
+
+[workspace.dependencies]
+rand = { path = "vendor/rand" }
+serde = { path = "vendor/serde", features = ["derive"] }
+
+[dependencies]
+mkss-core.workspace = true
+mkss-sim = { workspace = true }
+local = { path = "../local" }
+
+[dependencies.sub]
+path = "vendor/sub"
+
+[dev-dependencies]
+proptest = { path = "vendor/proptest" }
+
+[features]
+default = []
+"#;
+    assert_clean("crates/fixture/Cargo.toml", src);
+}
+
+// ---------------------------------------------------------------- //
+// recorder-gated-emit
+
+#[test]
+fn recorder_gate_fires_on_unguarded_emit() {
+    let src = r#"
+fn emit_badly(recorder: &dyn Recorder, c: CounterId) {
+    recorder.incr(c, 1);
+}
+fn observe_badly(recorder: &dyn Recorder, h: HistogramId) {
+    recorder.observe(h, 7);
+}
+"#;
+    assert_fires("crates/sim/src/fixture.rs", src, "recorder-gated-emit", 2);
+}
+
+#[test]
+fn recorder_gate_suppressed_by_allow() {
+    let src = r#"
+fn emit_knowingly(recorder: &dyn Recorder, c: CounterId) {
+    // mkss-lint: allow(recorder-gated-emit) — caller already checked attachment
+    recorder.incr(c, 1);
+}
+"#;
+    assert_suppressed("crates/sim/src/fixture.rs", src);
+}
+
+#[test]
+fn recorder_gate_clean_inside_gate_and_outside_sim() {
+    let gated = r#"
+fn emit(&self, counter: CounterId) {
+    if let Some(recorder) = &self.ws.recorder.0 {
+        recorder.incr(counter, 1);
+    }
+}
+"#;
+    assert_clean("crates/sim/src/fixture.rs", gated);
+    // The rule only guards the simulator; the registry itself (obs
+    // crate) calls incr on shards freely.
+    assert_clean(
+        "crates/obs/src/fixture.rs",
+        "fn bump(&self) { self.shard.incr(CounterId::JobsReleased, 1); }",
+    );
+}
+
+#[test]
+fn recorder_gate_else_branch_is_not_gated() {
+    let src = r#"
+fn emit(&self, counter: CounterId) {
+    if let Some(recorder) = &self.ws.recorder.0 {
+        recorder.incr(counter, 1);
+    } else {
+        self.fallback.incr(counter, 1);
+    }
+}
+"#;
+    assert_fires("crates/sim/src/fixture.rs", src, "recorder-gated-emit", 1);
+}
+
+// ---------------------------------------------------------------- //
+// malformed-directive
+
+#[test]
+fn malformed_directive_fires() {
+    // Missing reason, unknown rule, and a typoed keyword all fire.
+    let src = "\
+// mkss-lint: allow(no-unwrap-in-lib)
+// mkss-lint: allow(no-such-rule) — reason
+// mkss-lint: hot-path begins
+fn f() {}
+";
+    assert_fires("crates/core/src/fixture.rs", src, "malformed-directive", 3);
+}
+
+#[test]
+fn malformed_directive_suppressed_by_allow() {
+    let src = "\
+// mkss-lint: allow(malformed-directive) — the next line demonstrates a typo on purpose
+// mkss-lint: allos(oops)
+fn f() {}
+";
+    assert_suppressed("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn wellformed_directives_are_silent() {
+    let src = "\
+pub fn f(x: Option<u32>) -> u32 {
+    // mkss-lint: allow(no-unwrap-in-lib) — fixture invariant
+    x.unwrap()
+}
+";
+    assert_clean("crates/core/src/fixture.rs", src);
+}
+
+// ---------------------------------------------------------------- //
+// unused-allow
+
+#[test]
+fn unused_allow_fires() {
+    let src = "\
+// mkss-lint: allow(no-unwrap-in-lib) — nothing here actually unwraps
+fn f() {}
+";
+    assert_fires("crates/core/src/fixture.rs", src, "unused-allow", 1);
+}
+
+#[test]
+fn unused_allow_suppressed_by_allow() {
+    let src = "\
+// mkss-lint: allow(unused-allow) — fixture demonstrating a deliberately-unused annotation
+// mkss-lint: allow(no-unwrap-in-lib) — nothing here actually unwraps
+fn f() {}
+";
+    assert_suppressed("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn used_allow_is_silent_and_test_code_exempt() {
+    let used = "\
+pub fn f(x: Option<u32>) -> u32 {
+    // mkss-lint: allow(no-unwrap-in-lib) — fixture invariant
+    x.unwrap()
+}
+";
+    assert_clean("crates/core/src/fixture.rs", used);
+    // Rules do not run inside #[cfg(test)], so an allow there can never
+    // be "used"; it must not be punished for it.
+    let in_test = "\
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u32>) -> u32 {
+        // mkss-lint: allow(no-unwrap-in-lib) — test-only
+        x.unwrap()
+    }
+}
+";
+    assert_clean("crates/core/src/fixture.rs", in_test);
+}
+
+// ---------------------------------------------------------------- //
+// cross-cutting engine behaviour
+
+#[test]
+fn allow_must_be_adjacent() {
+    // Two lines above the finding: too far, does not suppress (and is
+    // therefore itself unused).
+    let src = "\
+pub fn f(x: Option<u32>) -> u32 {
+    // mkss-lint: allow(no-unwrap-in-lib) — too far away
+
+    x.unwrap()
+}
+";
+    let found = lint_one("crates/core/src/fixture.rs", src);
+    let mut rules = rules_of(&found);
+    rules.sort();
+    assert_eq!(rules, vec!["no-unwrap-in-lib", "unused-allow"]);
+}
+
+#[test]
+fn allow_on_same_line_works() {
+    let src = "\
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // mkss-lint: allow(no-unwrap-in-lib) — trailing form
+}
+";
+    assert_suppressed("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn findings_are_sorted_and_formatted() {
+    let report = lint_sources(&[
+        (
+            "crates/core/src/b.rs".into(),
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
+        ),
+        (
+            "crates/core/src/a.rs".into(),
+            "pub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
+        ),
+    ]);
+    let lines: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("crates/core/src/a.rs:1: [no-unwrap-in-lib]"));
+    assert!(lines[1].starts_with("crates/core/src/b.rs:1: [no-unwrap-in-lib]"));
+}

@@ -1,0 +1,55 @@
+//! The linter's strongest self-test: the workspace it ships in must
+//! lint clean, and the hot-path region in the engine must actually be
+//! there (a silently-unparsed marker would make `hot-path-alloc`
+//! vacuous).
+
+use std::path::Path;
+
+use mkss_lint::{lint_paths, lint_workspace};
+
+fn repo_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let report = lint_workspace(repo_root()).expect("workspace walk succeeds");
+    assert!(
+        report.files > 50,
+        "suspiciously few files walked: {}",
+        report.files
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace must lint clean, got:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn engine_hot_path_region_is_live() {
+    // Linting the real engine.rs with the rest of the workspace absent
+    // must still resolve its hot-path region without balance errors,
+    // proving the markers parse. (An unbalanced or typoed marker is
+    // itself a finding, so zero findings here is the assertion.)
+    let root = repo_root();
+    let engine = root.join("crates/sim/src/engine.rs");
+    assert!(engine.is_file(), "engine.rs moved?");
+    let src = std::fs::read_to_string(&engine).expect("engine.rs is readable");
+    assert!(
+        src.contains("mkss-lint: hot-path begin") && src.contains("mkss-lint: hot-path end"),
+        "engine.rs lost its hot-path markers"
+    );
+    let report = lint_paths(root, &[engine]).expect("single-file lint succeeds");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "engine.rs must lint clean on its own:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -175,13 +175,18 @@ impl MkssDp {
                 (StaticDelayTable::PerTask(y.clone()), y)
             }
             StaticBackupDelay::PromotionMandatory => {
-                let y: Vec<Time> = ts
+                // `response_time` is None only for unschedulable tasks;
+                // the gate above makes that unreachable, but propagating
+                // keeps this arm correct even if the gate moves.
+                let y = ts
                     .ids()
                     .map(|id| {
-                        ts.task(id).deadline()
-                            - report.response_time(id).expect("gated above")
+                        report
+                            .response_time(id)
+                            .map(|r| ts.task(id).deadline() - r)
+                            .ok_or_else(|| first_unschedulable(ts, pattern))
                     })
-                    .collect();
+                    .collect::<Result<Vec<Time>, BuildPolicyError>>()?;
                 (StaticDelayTable::PerTask(y.clone()), y)
             }
             StaticBackupDelay::Postponement => {
@@ -291,18 +296,30 @@ mod tests {
         // Primary: J11 [0,3), J'21 [3,5) canceled, J12 [5,8).
         let primary: Vec<_> = trace.segments_on(ProcId::PRIMARY).collect();
         assert_eq!(primary[0].job, JobId::new(TaskId(0), 1));
-        assert_eq!((primary[0].start, primary[0].end), (Time::ZERO, Time::from_ms(3)));
+        assert_eq!(
+            (primary[0].start, primary[0].end),
+            (Time::ZERO, Time::from_ms(3))
+        );
         assert_eq!(primary[1].kind, CopyKind::Backup);
         assert_eq!(primary[1].ended, SegmentEnd::Canceled);
-        assert_eq!((primary[1].start, primary[1].end), (Time::from_ms(3), Time::from_ms(5)));
+        assert_eq!(
+            (primary[1].start, primary[1].end),
+            (Time::from_ms(3), Time::from_ms(5))
+        );
         // Spare: J21 [0,1), J'11 [1,3) canceled, J21 [3,5), J'12 [6,8) canceled.
         let spare: Vec<_> = trace.segments_on(ProcId::SPARE).collect();
         assert_eq!(spare[0].job, JobId::new(TaskId(1), 1));
-        assert_eq!((spare[0].start, spare[0].end), (Time::ZERO, Time::from_ms(1)));
+        assert_eq!(
+            (spare[0].start, spare[0].end),
+            (Time::ZERO, Time::from_ms(1))
+        );
         assert_eq!(spare[1].kind, CopyKind::Backup);
         assert_eq!(spare[1].ended, SegmentEnd::Canceled);
         assert_eq!(spare[3].kind, CopyKind::Backup);
-        assert_eq!((spare[3].start, spare[3].end), (Time::from_ms(6), Time::from_ms(8)));
+        assert_eq!(
+            (spare[3].start, spare[3].end),
+            (Time::from_ms(6), Time::from_ms(8))
+        );
     }
 
     #[test]

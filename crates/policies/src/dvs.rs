@@ -77,9 +77,8 @@ fn scaled_task_set(ts: &TaskSet, speed_permil: u32) -> Option<TaskSet> {
     let tasks: Option<Vec<Task>> = ts
         .iter()
         .map(|(_, t)| {
-            let stretched = Time::from_ticks(
-                (t.wcet().ticks() * 1000).div_ceil(u64::from(speed_permil)),
-            );
+            let stretched =
+                Time::from_ticks((t.wcet().ticks() * 1000).div_ceil(u64::from(speed_permil)));
             Task::with_constraint(t.period(), t.deadline(), stretched, t.mk()).ok()
         })
         .collect();
@@ -102,8 +101,11 @@ impl MkssDpDvs {
             }
             let feasible = scaled_task_set(ts, speed)
                 .map(|scaled| {
-                    analyze(&scaled, InterferenceModel::MandatoryOnly(Pattern::DeeplyRed))
-                        .schedulable()
+                    analyze(
+                        &scaled,
+                        InterferenceModel::MandatoryOnly(Pattern::DeeplyRed),
+                    )
+                    .schedulable()
                 })
                 .unwrap_or(false);
             if feasible {
@@ -139,8 +141,8 @@ impl MkssDpDvs {
             "speed must be in 1..=1000 permil"
         );
         let pattern = Pattern::DeeplyRed;
-        let scaled = scaled_task_set(ts, speed_permil)
-            .ok_or_else(|| first_unschedulable(ts, pattern))?;
+        let scaled =
+            scaled_task_set(ts, speed_permil).ok_or_else(|| first_unschedulable(ts, pattern))?;
         if !analyze(&scaled, InterferenceModel::MandatoryOnly(pattern)).schedulable() {
             return Err(first_unschedulable(&scaled, pattern));
         }
@@ -277,7 +279,10 @@ mod tests {
                     .build();
                 let mut dvs = MkssDpDvs::new(&ts).unwrap();
                 let report = simulate(&ts, &mut dvs, &config);
-                assert!(report.mk_assured(), "violation with {proc} fault at {at_ms}ms");
+                assert!(
+                    report.mk_assured(),
+                    "violation with {proc} fault at {at_ms}ms"
+                );
             }
         }
     }

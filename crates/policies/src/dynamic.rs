@@ -234,7 +234,11 @@ impl Policy for DynamicPolicy {
             OptionalPlacement::SpareOnly => ProcId::SPARE,
             OptionalPlacement::Alternate => {
                 let flag = &mut self.next_on_spare[ctx.task.0];
-                let proc = if *flag { ProcId::SPARE } else { ProcId::PRIMARY };
+                let proc = if *flag {
+                    ProcId::SPARE
+                } else {
+                    ProcId::PRIMARY
+                };
                 *flag = !*flag;
                 proc
             }
@@ -281,7 +285,11 @@ mod tests {
             (report.active_energy().units() - 14.0).abs() < 1e-9,
             "expected 14 units, got {} \n{}",
             report.active_energy(),
-            report.trace.as_ref().unwrap().render_gantt_ms(Time::from_ms(25))
+            report
+                .trace
+                .as_ref()
+                .unwrap()
+                .render_gantt_ms(Time::from_ms(25))
         );
         assert!(report.mk_assured());
     }
@@ -323,7 +331,11 @@ mod tests {
             (report.active_energy().units() - 12.0).abs() < 1e-9,
             "expected 12 units, got {}\n{}",
             report.active_energy(),
-            report.trace.as_ref().unwrap().render_gantt_ms(Time::from_ms(20))
+            report
+                .trace
+                .as_ref()
+                .unwrap()
+                .render_gantt_ms(Time::from_ms(20))
         );
         assert!(report.mk_assured());
     }

@@ -13,9 +13,7 @@ use crate::error::BuildPolicyError;
 use crate::static_pattern::MkssSt;
 
 /// Every scheme the crate can build.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum PolicyKind {
     /// [`MkssSt`]: static patterns, concurrent copies (the reference).
@@ -138,9 +136,9 @@ impl PolicyKind {
     ) -> Result<Box<dyn Policy>, BuildPolicyError> {
         Ok(match self {
             PolicyKind::Static => Box::new(MkssSt::new()),
-            PolicyKind::StaticEven => {
-                Box::new(MkssSt::with_pattern(mkss_core::mk::Pattern::EvenlyDistributed))
-            }
+            PolicyKind::StaticEven => Box::new(MkssSt::with_pattern(
+                mkss_core::mk::Pattern::EvenlyDistributed,
+            )),
             PolicyKind::DualPriority => Box::new(MkssDp::new(ts)?),
             PolicyKind::DualPriorityPrimary => {
                 Box::new(MkssDp::with_placement(ts, MainPlacement::MainsOnPrimary)?)
@@ -248,7 +246,9 @@ impl FromStr for PolicyKind {
         PolicyKind::ALL
             .into_iter()
             .find(|k| k.id() == s)
-            .ok_or_else(|| ParsePolicyKindError { input: s.to_owned() })
+            .ok_or_else(|| ParsePolicyKindError {
+                input: s.to_owned(),
+            })
     }
 }
 

@@ -6,9 +6,9 @@
 //! executed. This is the energy *reference* the paper normalizes against.
 
 use mkss_core::mk::Pattern;
+use mkss_core::time::Time;
 use mkss_sim::policy::{Policy, ReleaseCtx, ReleaseDecision};
 use mkss_sim::proc::ProcId;
-use mkss_core::time::Time;
 
 /// The static standby-sparing scheme (`MKSS_ST`).
 ///

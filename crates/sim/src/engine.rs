@@ -505,6 +505,15 @@ impl<'a, 'w> Engine<'a, 'w> {
         }
     }
 
+    // mkss-lint: hot-path begin
+    //
+    // Everything from here through `close_segment` is the steady-state
+    // event loop: with `record_trace = false` it performs zero
+    // allocations per event (PR 2's contract, pinned at runtime by
+    // crates/sim/tests/zero_alloc.rs and at review time by the
+    // `hot-path-alloc` lint rule). Pushes into workspace-owned buffers
+    // are fine — they only allocate past retained capacity — but no
+    // fresh allocating constructor may appear in this region.
     fn run<P: Policy + ?Sized>(mut self, policy: &mut P) -> SimReport {
         policy.init(self.ts);
         loop {
@@ -536,6 +545,12 @@ impl<'a, 'w> Engine<'a, 'w> {
     fn prune(&mut self) {
         let copies = &self.ws.copies;
         let active = &mut self.ws.active_copies;
+        // Swap-remove never invents indices, it only reorders; every
+        // entry must keep pointing into the arena it was pushed for.
+        debug_assert!(
+            active.iter().all(|&c| c < copies.len()),
+            "active copy index out of bounds"
+        );
         let mut i = 0;
         while i < active.len() {
             if copies[active[i]].state == CopyState::Pending {
@@ -546,6 +561,10 @@ impl<'a, 'w> Engine<'a, 'w> {
         }
         let jobs = &self.ws.jobs;
         let open = &mut self.ws.open_jobs;
+        debug_assert!(
+            open.iter().all(|&j| j < jobs.len()),
+            "open job index out of bounds"
+        );
         let mut i = 0;
         while i < open.len() {
             if jobs[open[i]].resolved {
@@ -730,6 +749,12 @@ impl<'a, 'w> Engine<'a, 'w> {
             },
             other => other,
         };
+        // The normalization above is exhaustive for the plain-mandatory
+        // form; the match below relies on never seeing it again.
+        debug_assert!(
+            !matches!(decision, ReleaseDecision::Mandatory { .. }),
+            "Mandatory must be normalized to MandatoryScaled before dispatch"
+        );
         match decision {
             ReleaseDecision::MandatoryScaled {
                 main_proc,
@@ -1045,6 +1070,12 @@ impl<'a, 'w> Engine<'a, 'w> {
             }
         }
         // …then act on the outcomes.
+        debug_assert!(
+            completions[..completed]
+                .iter()
+                .all(|&c| matches!(self.ws.copies[c].state, CopyState::Done { .. })),
+            "every completion was marked Done by the loop above"
+        );
         for &c in &completions[..completed] {
             let CopyState::Done { faulted } = self.ws.copies[c].state else {
                 unreachable!("completion not marked done");
@@ -1104,6 +1135,8 @@ impl<'a, 'w> Engine<'a, 'w> {
             }
         }
     }
+
+    // mkss-lint: hot-path end
 
     // ----- wrap-up -------------------------------------------------------
 

@@ -155,6 +155,7 @@ impl Generator {
             let m = self.rng.gen_range(1..k);
             let w: f64 = self.rng.gen_range(0.05..1.0);
             periods.push(p);
+            // mkss-lint: allow(no-unwrap-in-lib) — m is drawn from gen_range(1..k), so 1 ≤ m < k always holds
             mks.push(MkConstraint::new(m, k).expect("1 <= m < k by construction"));
             weights.push(w);
         }

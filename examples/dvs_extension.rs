@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         auto.speed_permil() % 1000
     );
 
-    println!("{:>8} {:>14} {:>10} {:>10}", "speed", "active energy", "met", "missed");
+    println!(
+        "{:>8} {:>14} {:>10} {:>10}",
+        "speed", "active energy", "met", "missed"
+    );
     for permil in [1000u32, 800, 600, 400, auto.speed_permil()] {
         let mut policy = MkssDpDvs::with_speed(&ts, permil)?;
         let report = simulate(&ts, &mut policy, &config);
@@ -42,14 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare against the paper's schemes on the same set.
     println!();
-    for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Selective] {
+    for kind in [
+        PolicyKind::Static,
+        PolicyKind::DualPriority,
+        PolicyKind::Selective,
+    ] {
         let mut policy = kind.build(&ts, &BuildOptions::default())?;
         let report = simulate(&ts, policy.as_mut(), &config);
-        println!(
-            "{:>20}: {}",
-            report.policy,
-            report.active_energy()
-        );
+        println!("{:>20}: {}", report.policy, report.active_energy());
     }
     Ok(())
 }

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // streams live per-scenario progress lines on stderr.
     let log = LogLevel::from_env()?;
     let registry = log.enabled().then(|| Arc::new(Registry::new(1)));
-    let progress =
-        (log == LogLevel::Events).then(|| Arc::new(Reporter::stderr()));
+    let progress = (log == LogLevel::Events).then(|| Arc::new(Reporter::stderr()));
     for scenario in Scenario::ALL {
         let mut config = ExperimentConfig::fig6(scenario);
         // Scaled down for example speed; the fig6 binary uses 20 sets per

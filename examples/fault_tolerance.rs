@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== permanent fault on the primary at 7ms ==");
     println!(
         "copies lost: {}, jobs met: {}, missed: {}, (m,k) assured: {}",
-        report.stats.copies_lost, report.stats.met, report.stats.missed, report.mk_assured()
+        report.stats.copies_lost,
+        report.stats.met,
+        report.stats.missed,
+        report.mk_assured()
     );
     print!(
         "{}",

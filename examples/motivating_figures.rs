@@ -23,7 +23,10 @@ fn show(title: &str, ts: &TaskSet, policy: &mut dyn Policy, until: Time) {
         report.active_energy(),
         report.mk_assured()
     );
-    print!("{}", report.trace.expect("trace recorded").render_gantt_ms(until));
+    print!(
+        "{}",
+        report.trace.expect("trace recorded").render_gantt_ms(until)
+    );
     println!();
 }
 

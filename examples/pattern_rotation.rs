@@ -22,9 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         is_schedulable_r_pattern(&ts)
     );
 
-    let assignment =
-        find_rotation(&ts, RotationConfig::default()).expect("hyperperiod is tiny");
-    println!("rotation search: provably schedulable = {}", assignment.schedulable());
+    let assignment = find_rotation(&ts, RotationConfig::default()).expect("hyperperiod is tiny");
+    println!(
+        "rotation search: provably schedulable = {}",
+        assignment.schedulable()
+    );
     for (i, p) in assignment.patterns.iter().enumerate() {
         println!("  τ{}: offset {}", i + 1, p.offset);
     }

@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (id, task) in ts.iter() {
         println!(
             "  {id}: Y = {} (promotion, Eq. 2), θ = {} (Defs. 2–5), raw inspecting-point θ = {:?}",
-            post.promotion[id.0],
-            post.theta[id.0],
-            post.raw_theta[id.0],
+            post.promotion[id.0], post.theta[id.0], post.raw_theta[id.0],
         );
         let jobs = ts.hyperperiod_up_to(id).div_floor(task.period());
         for j in 1..=jobs {
@@ -49,7 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .faults(FaultConfig::transient(1e6, 1)) // every execution faults
         .build();
     let report = simulate(&ts, &mut MkssSt::new(), &config);
-    print!("{}", report.trace.expect("trace").render_gantt_ms(Time::from_ms(30)));
+    print!(
+        "{}",
+        report
+            .trace
+            .expect("trace")
+            .render_gantt_ms(Time::from_ms(30))
+    );
     println!(
         "note: with every copy faulting, both copies of every job fail — the monitor \
          reports {} violations (this run demonstrates the schedule, not the guarantee).",

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(m,k)-utilization: {:.3}", ts.mk_utilization());
 
     // Offline analysis.
-    println!("schedulable under R-pattern: {}", is_schedulable_r_pattern(&ts));
+    println!(
+        "schedulable under R-pattern: {}",
+        is_schedulable_r_pattern(&ts)
+    );
     let post = postponement_intervals(&ts, PostponeConfig::default())?;
     for (id, _) in ts.iter() {
         println!(

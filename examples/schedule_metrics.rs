@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = Time::from_ms(200);
     let config = SimConfig::active_only(horizon);
 
-    for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Selective] {
+    for kind in [
+        PolicyKind::Static,
+        PolicyKind::DualPriority,
+        PolicyKind::Selective,
+    ] {
         let mut policy = kind.build(&ts, &BuildOptions::default())?;
         let report = simulate(&ts, policy.as_mut(), &config);
         let metrics = analyze_trace(&ts, report.trace.as_ref().expect("trace"));
@@ -29,7 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "{:>6} {:>5} {:>6} {:>11} {:>10} {:>11} {:>13} {:>12}",
-            "task", "met", "miss", "worst resp", "mean resp", "main busy", "backup busy", "opt busy"
+            "task",
+            "met",
+            "miss",
+            "worst resp",
+            "mean resp",
+            "main busy",
+            "backup busy",
+            "opt busy"
         );
         for row in &metrics.per_task {
             println!(

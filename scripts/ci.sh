@@ -4,13 +4,30 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== rustfmt (check) =="
-cargo fmt --check -p mkss-core -p mkss-workload -p mkss-obs -p mkss-bench \
-    -p mkss-cli
+echo "== rustfmt (check, whole workspace) =="
+cargo fmt --check --all
 
-echo "== clippy (deny warnings) =="
+echo "== mkss-lint (project invariants, hard gate) =="
+cargo run --release -q -p mkss-lint
+
+echo "== mkss-lint smoke (must reject a known-bad file) =="
+lint_tmp="$(mktemp -d)"
+mkdir -p "$lint_tmp/crates/core/src"
+printf 'pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n' \
+    > "$lint_tmp/crates/core/src/bad.rs"
+if cargo run --release -q -p mkss-lint -- --root "$lint_tmp" \
+    "$lint_tmp/crates/core/src/bad.rs" 2>/dev/null; then
+    echo "ERROR: mkss-lint exited 0 on a file with a known violation" >&2
+    rm -rf "$lint_tmp"
+    exit 1
+fi
+rm -rf "$lint_tmp"
+echo "bad-file smoke ok (nonzero exit as expected)"
+
+echo "== clippy (deny warnings, whole workspace) =="
 cargo clippy -p mkss-core -p mkss-workload -p mkss-obs -p mkss-bench \
-    -p mkss-cli --all-targets -- -D warnings
+    -p mkss-cli -p mkss-sim -p mkss-policies -p mkss-analysis \
+    -p mkss-lint -p mkss --all-targets -- -D warnings
 
 echo "== tier-1: build + tests =="
 cargo build --release

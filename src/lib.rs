@@ -58,18 +58,16 @@ pub use mkss_workload as workload;
 pub mod prelude {
     pub use mkss_analysis::prelude::*;
     pub use mkss_core::prelude::*;
+    pub use mkss_obs::{
+        CounterId, HistogramId, LogLevel, MetricsDoc, NoopRecorder, Recorder, Registry, Reporter,
+    };
     pub use mkss_policies::{
         BackupDelay, BuildOptions, BuildPolicyError, DynamicConfig, DynamicPolicy, MainPlacement,
         MkssDp, MkssDpDvs, MkssSelective, MkssSt, MkssStRotated, OptionalPlacement,
         ParsePolicyKindError, PolicyKind, SelectionRule,
     };
-    pub use mkss_obs::{
-        CounterId, HistogramId, LogLevel, MetricsDoc, NoopRecorder, Recorder, Registry, Reporter,
-    };
     pub use mkss_sim::metrics::{analyze_trace, TraceMetrics};
     pub use mkss_sim::prelude::*;
     pub use mkss_sim::vcd::render_vcd;
-    pub use mkss_workload::{
-        generate_buckets, Bucket, BucketPlan, Generator, WorkloadConfig,
-    };
+    pub use mkss_workload::{generate_buckets, Bucket, BucketPlan, Generator, WorkloadConfig};
 }

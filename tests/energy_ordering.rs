@@ -49,8 +49,16 @@ fn fig6a_shape_no_fault() {
         let sel = bucket.normalized[&PolicyKind::Selective];
         assert!((st - 1.0).abs() < 1e-9);
         // Both schemes always save substantially vs the reference.
-        assert!(dp <= 0.9, "dp {dp} barely below reference at {}", bucket.midpoint);
-        assert!(sel <= 0.9, "selective {sel} barely below reference at {}", bucket.midpoint);
+        assert!(
+            dp <= 0.9,
+            "dp {dp} barely below reference at {}",
+            bucket.midpoint
+        );
+        assert!(
+            sel <= 0.9,
+            "selective {sel} barely below reference at {}",
+            bucket.midpoint
+        );
     }
     // Selective wins the top populated bucket…
     let g = gaps(&result);

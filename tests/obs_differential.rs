@@ -40,10 +40,12 @@ fn recorder_on_reports_are_byte_identical_to_recorder_off() {
                     .record_trace(record_trace)
                     .build();
                 for kind in PolicyKind::PAPER {
-                    let mut plain_policy =
-                        kind.build(&ts, &BuildOptions::default()).expect("schedulable");
-                    let mut observed_policy =
-                        kind.build(&ts, &BuildOptions::default()).expect("schedulable");
+                    let mut plain_policy = kind
+                        .build(&ts, &BuildOptions::default())
+                        .expect("schedulable");
+                    let mut observed_policy = kind
+                        .build(&ts, &BuildOptions::default())
+                        .expect("schedulable");
                     let plain = simulate_in(&mut plain_ws, &ts, plain_policy.as_mut(), &config);
                     let observed =
                         simulate_in(&mut observed_ws, &ts, observed_policy.as_mut(), &config);

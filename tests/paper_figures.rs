@@ -125,8 +125,16 @@ fn fig2_executes_the_papers_job_sequence() {
         vec![
             (JobId::new(TaskId(1), 1), Time::ZERO, Time::from_ms(3)),
             (JobId::new(TaskId(0), 2), Time::from_ms(5), Time::from_ms(8)),
-            (JobId::new(TaskId(0), 3), Time::from_ms(10), Time::from_ms(13)),
-            (JobId::new(TaskId(1), 2), Time::from_ms(13), Time::from_ms(16)),
+            (
+                JobId::new(TaskId(0), 3),
+                Time::from_ms(10),
+                Time::from_ms(13)
+            ),
+            (
+                JobId::new(TaskId(1), 2),
+                Time::from_ms(13),
+                Time::from_ms(16)
+            ),
         ]
     );
     // The spare processor never ran anything: all backups dropped.

@@ -79,30 +79,33 @@ fn reference_run(
     let mut jobs: BTreeMap<(usize, u64), (Vec<usize>, bool)> = BTreeMap::new();
     let mut out = RefOutcome::default();
 
-    let resolve =
-        |histories: &mut Vec<MkHistory>,
-         copies: &mut Vec<RefCopy>,
-         jobs: &mut BTreeMap<(usize, u64), (Vec<usize>, bool)>,
-         out: &mut RefOutcome,
-         task: usize,
-         index: u64,
-         met: bool| {
-            let entry = jobs.get_mut(&(task, index)).expect("job exists");
-            assert!(!entry.1, "double resolution");
-            entry.1 = true;
-            histories[task].record(if met { JobOutcome::Met } else { JobOutcome::Missed });
-            if met {
-                out.met += 1;
-            } else {
-                out.missed += 1;
-                for &c in &entry.0 {
-                    if copies[c].state == 0 {
-                        copies[c].state = 3;
-                    }
+    let resolve = |histories: &mut Vec<MkHistory>,
+                   copies: &mut Vec<RefCopy>,
+                   jobs: &mut BTreeMap<(usize, u64), (Vec<usize>, bool)>,
+                   out: &mut RefOutcome,
+                   task: usize,
+                   index: u64,
+                   met: bool| {
+        let entry = jobs.get_mut(&(task, index)).expect("job exists");
+        assert!(!entry.1, "double resolution");
+        entry.1 = true;
+        histories[task].record(if met {
+            JobOutcome::Met
+        } else {
+            JobOutcome::Missed
+        });
+        if met {
+            out.met += 1;
+        } else {
+            out.missed += 1;
+            for &c in &entry.0 {
+                if copies[c].state == 0 {
+                    copies[c].state = 3;
                 }
             }
-            out.outcomes.push((task, index, met));
-        };
+        }
+        out.outcomes.push((task, index, met));
+    };
 
     let mut alive = [true, true];
     for t in (0..horizon_ms).step_by(STEP_MS as usize) {
@@ -126,7 +129,15 @@ fn reference_run(
             .map(|(&k, _)| k)
             .collect();
         for (task, index) in due {
-            resolve(&mut histories, &mut copies, &mut jobs, &mut out, task, index, false);
+            resolve(
+                &mut histories,
+                &mut copies,
+                &mut jobs,
+                &mut out,
+                task,
+                index,
+                false,
+            );
         }
         // 2. releases at t.
         for task in 0..n {
@@ -228,19 +239,18 @@ fn reference_run(
         }
         // 3. abandon infeasible optionals, then dispatch one tick.
         let mut completed: Vec<usize> = Vec::new();
-        for proc in 0..2 {
-            if !alive[proc] {
+        for (proc, &alive_here) in alive.iter().enumerate() {
+            if !alive_here {
                 continue;
             }
-            for c in 0..copies.len() {
-                let cp = &copies[c];
+            for cp in copies.iter_mut() {
                 if cp.proc == proc
                     && cp.state == 0
                     && !cp.mandatory
                     && cp.release_ms <= t
                     && t + cp.remaining_ms > cp.deadline_ms
                 {
-                    copies[c].state = 3;
+                    cp.state = 3;
                 }
             }
             let pick = copies
@@ -274,7 +284,15 @@ fn reference_run(
         for c in completed {
             let (task, index) = (copies[c].task, copies[c].index);
             if !jobs[&(task, index)].1 {
-                resolve(&mut histories, &mut copies, &mut jobs, &mut out, task, index, true);
+                resolve(
+                    &mut histories,
+                    &mut copies,
+                    &mut jobs,
+                    &mut out,
+                    task,
+                    index,
+                    true,
+                );
             }
             if let Some(s) = copies[c].sibling {
                 if copies[s].state == 0 {
@@ -290,7 +308,15 @@ fn reference_run(
         .map(|(&k, _)| k)
         .collect();
     for (task, index) in due {
-        resolve(&mut histories, &mut copies, &mut jobs, &mut out, task, index, false);
+        resolve(
+            &mut histories,
+            &mut copies,
+            &mut jobs,
+            &mut out,
+            task,
+            index,
+            false,
+        );
     }
     out
 }
@@ -311,7 +337,7 @@ fn schedulable_set(seed: u64, util_pct: u64) -> Option<TaskSet> {
             let rounded: Option<Vec<Task>> = ts
                 .iter()
                 .map(|(_, t)| {
-                    let ms = (t.wcet().ticks() + 999) / 1000;
+                    let ms = t.wcet().ticks().div_ceil(1000);
                     Task::with_constraint(
                         t.period(),
                         t.deadline(),
@@ -339,9 +365,7 @@ fn engine_run(
     horizon_ms: u64,
     fault: Option<(usize, u64)>,
 ) -> SimReport {
-    let mut builder = SimConfig::builder()
-        .horizon_ms(horizon_ms)
-        .active_only();
+    let mut builder = SimConfig::builder().horizon_ms(horizon_ms).active_only();
     if let Some((proc, at)) = fault {
         builder = builder.faults(FaultConfig::permanent(ProcId(proc), Time::from_ms(at)));
     }
@@ -405,7 +429,11 @@ fn engine_matches_reference_on_paper_sets() {
         Task::from_ms(10, 10, 3, 1, 2).unwrap(),
     ])
     .unwrap();
-    for policy in [RefPolicy::Static, RefPolicy::DualPriority, RefPolicy::Selective] {
+    for policy in [
+        RefPolicy::Static,
+        RefPolicy::DualPriority,
+        RefPolicy::Selective,
+    ] {
         compare(&fig1, policy, 100);
     }
     let fig5 = TaskSet::new(vec![
@@ -413,7 +441,11 @@ fn engine_matches_reference_on_paper_sets() {
         Task::from_ms(15, 15, 8, 1, 2).unwrap(),
     ])
     .unwrap();
-    for policy in [RefPolicy::Static, RefPolicy::DualPriority, RefPolicy::Selective] {
+    for policy in [
+        RefPolicy::Static,
+        RefPolicy::DualPriority,
+        RefPolicy::Selective,
+    ] {
         compare(&fig5, policy, 120);
     }
 }

@@ -55,7 +55,12 @@ fn history_and_monitor_roundtrip() {
 fn sim_config_and_fault_config_roundtrip() {
     let config = SimConfig::builder()
         .horizon_ms(500)
-        .faults(FaultConfig::combined(ProcId::SPARE, Time::from_ms(33), 1e-6, 77))
+        .faults(FaultConfig::combined(
+            ProcId::SPARE,
+            Time::from_ms(33),
+            1e-6,
+            77,
+        ))
         .build();
     let back = roundtrip(&config);
     assert_eq!(back, config);

@@ -41,16 +41,16 @@ fn reused_workspace_reports_are_byte_identical_to_fresh_runs() {
                     .record_trace(record_trace)
                     .build();
                 for kind in PolicyKind::PAPER {
-                    let mut fresh_policy =
-                        kind.build(&ts, &BuildOptions::default()).expect("schedulable");
-                    let mut reuse_policy =
-                        kind.build(&ts, &BuildOptions::default()).expect("schedulable");
+                    let mut fresh_policy = kind
+                        .build(&ts, &BuildOptions::default())
+                        .expect("schedulable");
+                    let mut reuse_policy = kind
+                        .build(&ts, &BuildOptions::default())
+                        .expect("schedulable");
                     let fresh = simulate(&ts, fresh_policy.as_mut(), &config);
                     let reused = simulate_in(&mut ws, &ts, reuse_policy.as_mut(), &config);
-                    let fresh_json =
-                        serde_json::to_string(&fresh).expect("report serializes");
-                    let reused_json =
-                        serde_json::to_string(&reused).expect("report serializes");
+                    let fresh_json = serde_json::to_string(&fresh).expect("report serializes");
+                    let reused_json = serde_json::to_string(&reused).expect("report serializes");
                     assert_eq!(
                         fresh_json, reused_json,
                         "divergence: seed {seed} util {util} policy {kind} \
@@ -71,7 +71,10 @@ fn back_to_back_reuse_is_self_consistent() {
     let ts = Generator::new(WorkloadConfig::paper(), 7)
         .schedulable_set(0.6)
         .expect("generatable");
-    let config = SimConfig::builder().horizon_ms(800).record_trace(true).build();
+    let config = SimConfig::builder()
+        .horizon_ms(800)
+        .record_trace(true)
+        .build();
     let mut ws = SimWorkspace::new();
     let mut policy_a = PolicyKind::Selective
         .build(&ts, &BuildOptions::default())

@@ -346,7 +346,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *__l != *__r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), __l
+            stringify!($left),
+            stringify!($right),
+            __l
         );
     }};
 }
@@ -356,9 +358,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !($cond) {
-            return ::core::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }

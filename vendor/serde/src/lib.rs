@@ -347,8 +347,7 @@ impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for
             )));
         }
         let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
-        <[T; N]>::try_from(parsed)
-            .map_err(|_| Error::custom("array length mismatch after parse"))
+        <[T; N]>::try_from(parsed).map_err(|_| Error::custom("array length mismatch after parse"))
     }
 }
 
@@ -485,11 +484,10 @@ pub mod __private {
         ty: &str,
     ) -> Result<T, Error> {
         match entries.iter().find(|(k, _)| k == name) {
-            Some((_, v)) => T::from_value(v)
-                .map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
-            None => {
-                T::from_value(&Value::Null).map_err(|_| Error::missing_field(ty, name))
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
             }
+            None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(ty, name)),
         }
     }
 

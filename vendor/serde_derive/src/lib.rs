@@ -291,11 +291,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         },
         other => return Err(format!("cannot derive on `{other}` items")),
     };
-    Ok(Item {
-        name,
-        attrs,
-        shape,
-    })
+    Ok(Item { name, attrs, shape })
 }
 
 // ---------------------------------------------------------------------------
@@ -343,10 +339,7 @@ fn gen_serialize(item: &Item) -> String {
             format!("serde::Value::Array(vec![{}])", items.join(", "))
         }
         Shape::Struct(Fields::Named(fields)) if item.attrs.transparent => {
-            let inner = &fields
-                .first()
-                .expect("transparent struct has a field")
-                .0;
+            let inner = &fields.first().expect("transparent struct has a field").0;
             format!("serde::Serialize::to_value(&self.{inner})")
         }
         Shape::Struct(Fields::Named(fields)) => {
@@ -446,10 +439,7 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
         Shape::Struct(Fields::Named(fields)) if item.attrs.transparent => {
-            let inner = &fields
-                .first()
-                .expect("transparent struct has a field")
-                .0;
+            let inner = &fields.first().expect("transparent struct has a field").0;
             format!("Ok({name} {{ {inner}: serde::Deserialize::from_value(value)? }})")
         }
         Shape::Struct(Fields::Named(fields)) => {
@@ -466,8 +456,9 @@ fn gen_deserialize(item: &Item) -> String {
                 let tag = wire_name(&v.name, &v.attrs);
                 let vname = &v.name;
                 match &v.fields {
-                    Fields::Unit => string_arms
-                        .push_str(&format!("{tag:?} => Ok({name}::{vname}),\n")),
+                    Fields::Unit => {
+                        string_arms.push_str(&format!("{tag:?} => Ok({name}::{vname}),\n"))
+                    }
                     Fields::Tuple(fields) if fields.len() == 1 => tagged_arms.push_str(&format!(
                         "{tag:?} => Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),\n"
                     )),
