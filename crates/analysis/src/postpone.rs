@@ -25,7 +25,7 @@
 //! large to enumerate, which keeps the analysis sound on arbitrary random
 //! task sets.
 
-use mkss_core::mk::Pattern;
+use mkss_core::mk::{MkConstraint, Pattern};
 use mkss_core::task::{TaskId, TaskSet};
 use mkss_core::time::Time;
 use serde::{Deserialize, Serialize};
@@ -78,6 +78,31 @@ impl Default for PostponeConfig {
     }
 }
 
+/// Outcome of the raw inspecting-point analysis for one task, before the
+/// promotion-time fallback is applied.
+///
+/// The three cases were previously conflated into an `Option<Time>` that
+/// mapped a negative raw θ through `u64::try_from(..).ok()`, making "θ
+/// clamped to the promotion floor" indistinguishable from "hyperperiod too
+/// large to enumerate". They answer different questions — the first says
+/// the analysis ran and was beaten by the floor, the second that it never
+/// ran — so they are separate variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RawTheta {
+    /// The inspecting-point minimum, which is at or above the promotion
+    /// floor `Y_i` and therefore *is* the effective θ_i.
+    Exact(Time),
+    /// The analysis ran but its minimum fell strictly below the promotion
+    /// floor (possibly below zero); θ_i clamps to `Y_i`. The sub-floor
+    /// value is not reported: the enumeration stops as soon as the floor
+    /// is breached, so a full (and useless) minimum is never computed.
+    BelowFloor,
+    /// The level-i pattern hyperperiod exceeded
+    /// [`PostponeConfig::max_jobs_per_task`], so the enumeration was
+    /// skipped and θ_i falls back to `Y_i` (sound, merely conservative).
+    NotEnumerated,
+}
+
 /// Result of the postponement analysis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Postponement {
@@ -87,9 +112,8 @@ pub struct Postponement {
     /// Per-task promotion times `Y_i` (Eq. 2) under mandatory-only
     /// interference, for reference and ablations.
     pub promotion: Vec<Time>,
-    /// Per-task raw inspecting-point results before the fallback
-    /// (`None` where the hyperperiod was too large to enumerate).
-    pub raw_theta: Vec<Option<Time>>,
+    /// Per-task raw inspecting-point results before the fallback.
+    pub raw_theta: Vec<RawTheta>,
 }
 
 impl Postponement {
@@ -147,7 +171,8 @@ pub fn postponement_intervals(
     }
 
     let mut theta: Vec<Time> = Vec::with_capacity(ts.len());
-    let mut raw_theta: Vec<Option<Time>> = Vec::with_capacity(ts.len());
+    let mut raw_theta: Vec<RawTheta> = Vec::with_capacity(ts.len());
+    let mut rows: Vec<HpRow> = Vec::with_capacity(ts.len());
 
     for (i, task) in ts.iter() {
         let horizon = ts.hyperperiod_up_to(i);
@@ -157,18 +182,34 @@ pub fn postponement_intervals(
             horizon.div_floor(task.period())
         };
 
+        let floor = promotion[i.0].ticks() as i128;
         let raw = if jobs_in_horizon > config.max_jobs_per_task {
-            None
+            RawTheta::NotEnumerated
         } else {
-            min_theta_over_jobs(ts, i, config.pattern, jobs_in_horizon, &theta)
+            match min_theta_over_jobs(
+                ts,
+                i,
+                config.pattern,
+                jobs_in_horizon,
+                &theta,
+                floor,
+                &mut rows,
+            ) {
+                // No mandatory job in the horizon (cannot happen for a
+                // valid (m,k) with jobs_in_horizon ≥ k): nothing ran.
+                None => RawTheta::NotEnumerated,
+                Some(t) if t < floor => RawTheta::BelowFloor,
+                // t ≥ floor ≥ 0, so the u64 cast is exact.
+                Some(t) => RawTheta::Exact(Time::from_ticks(t as u64)),
+            }
         };
-        raw_theta.push(raw.and_then(|t| u64::try_from(t).ok().map(Time::from_ticks)));
+        raw_theta.push(raw);
 
         // Fallback / floor: the promotion time is always safe; never go
         // below it (nor below zero).
         let effective = match raw {
-            Some(t) if t > promotion[i.0].ticks() as i128 => Time::from_ticks(t as u64),
-            _ => promotion[i.0],
+            RawTheta::Exact(t) => t,
+            RawTheta::BelowFloor | RawTheta::NotEnumerated => promotion[i.0],
         };
         theta.push(effective);
     }
@@ -184,12 +225,21 @@ pub fn postponement_intervals(
 /// pattern hyperperiod, using already-fixed postponements `theta` of the
 /// higher-priority tasks. Returns `None` if τ_i has no mandatory job in
 /// the horizon (cannot happen for valid (m,k) with `jobs_in_horizon ≥ k`).
+///
+/// Two cutoffs keep the enumeration cheap without changing the effective
+/// θ_i: a job's inspecting-point scan stops once its running max reaches
+/// the minimum so far (a value that can only tie or exceed the min is
+/// interchangeable with the exact θ_ij), and the job loop stops once the
+/// minimum falls strictly below `floor` (θ_i clamps to the promotion time
+/// either way — the caller reports [`RawTheta::BelowFloor`], not a value).
 fn min_theta_over_jobs(
     ts: &TaskSet,
     i: TaskId,
     pattern: Pattern,
     jobs_in_horizon: u64,
     theta: &[Time],
+    floor: i128,
+    rows: &mut Vec<HpRow>,
 ) -> Option<i128> {
     let task = ts.task(i);
     let mut min_theta: Option<i128> = None;
@@ -199,11 +249,13 @@ fn min_theta_over_jobs(
         }
         let r = task.release_of(j);
         let d = r + task.deadline();
-        let t_ij = theta_for_job(ts, i, pattern, r, d, theta);
-        min_theta = Some(match min_theta {
-            Some(cur) => cur.min(t_ij),
-            None => t_ij,
-        });
+        let stop_at = min_theta.unwrap_or(i128::MAX);
+        let t_ij = theta_for_job(ts, i, pattern, r, d, theta, stop_at, rows);
+        let new_min = min_theta.map_or(t_ij, |cur| cur.min(t_ij));
+        min_theta = Some(new_min);
+        if new_min < floor {
+            break;
+        }
     }
     min_theta
 }
@@ -217,6 +269,38 @@ fn jobs_released_before(x: Time, offset: Time, p: Time) -> u64 {
     }
 }
 
+/// Per-higher-priority-task constants of one Eq. 4 evaluation, hoisted
+/// out of the inspecting-point loop: everything here depends only on the
+/// analysed job's release `r`, not on the inspecting point `t̄`.
+#[derive(Clone, Copy)]
+struct HpRow {
+    theta: Time,
+    period: Time,
+    wcet: i128,
+    mk: MkConstraint,
+    /// Jobs `l` with `d_kl ≤ r` — excluded from the interference count.
+    excluded: u64,
+    /// `mandatory_among(excluded)`, the subtrahend of the count.
+    excluded_mandatory: u64,
+}
+
+/// Σ of WCETs of higher-priority backup jobs with `d_kl > r` and
+/// `r̃_kl < t̄` (Eq. 4), plus `c_i`. `d_kl > r` excludes a prefix of jobs,
+/// `r̃_kl < t̄` selects a prefix, so the interfering mandatory jobs are
+/// those with index in (excluded, selected].
+fn demand_at(rows: &[HpRow], pattern: Pattern, c_i: i128, t_bar: Time) -> i128 {
+    let mut demand = c_i;
+    for row in rows {
+        // l with (l−1)P + θ < t̄.
+        let selected = jobs_released_before(t_bar, row.theta, row.period);
+        if selected > row.excluded {
+            let count = pattern.mandatory_among(row.mk, selected) - row.excluded_mandatory;
+            demand += row.wcet * (count as i128);
+        }
+    }
+    demand
+}
+
 /// `θ_ij` (Eq. 4) for the backup job of τ_i with release `r` and absolute
 /// deadline `d`.
 ///
@@ -226,6 +310,13 @@ fn jobs_released_before(x: Time, offset: Time, p: Time) -> u64 {
 /// closed-form mandatory-job counter instead of enumerating jobs — the
 /// analysis is O(inspecting points × tasks) per job rather than
 /// O(hyperperiod).
+///
+/// Inspecting points are evaluated as they are generated (the max is
+/// order-independent), and the scan returns early once the running max
+/// reaches `stop_at`: the caller only uses the value through `min`, so
+/// any result ≥ `stop_at` is interchangeable. Pass `i128::MAX` for the
+/// exact maximum. `rows` is a caller-owned scratch buffer, cleared here.
+#[allow(clippy::too_many_arguments)] // internal: mirrors Eq. 4's parameter list
 fn theta_for_job(
     ts: &TaskSet,
     i: TaskId,
@@ -233,54 +324,57 @@ fn theta_for_job(
     r: Time,
     d: Time,
     theta: &[Time],
+    stop_at: i128,
+    rows: &mut Vec<HpRow>,
 ) -> i128 {
-    // Gather the candidate inspecting points: the deadline plus every
-    // postponed higher-priority backup release strictly inside (r, d)
-    // (Definition 3).
-    let mut inspecting: Vec<Time> = vec![d];
+    let r_ticks = r.ticks() as i128;
+    let r_next = r + Time::from_ticks(1);
+    rows.clear();
     for k in ts.ids().take(i.0) {
         let hp = ts.task(k);
-        let theta_k = theta[k.0];
-        // Jobs with r̃_kl ≤ r form a prefix of length `skip`; scan only
-        // the jobs landing inside (r, d) — at most D_i/P_k + 1 of them.
-        let skip = jobs_released_before(r + Time::from_ticks(1), theta_k, hp.period());
-        let mut l = skip + 1;
-        loop {
-            let postponed = hp.release_of(l) + theta_k;
-            if postponed >= d {
-                break;
-            }
-            debug_assert!(postponed > r);
-            if pattern.is_mandatory(hp.mk(), l) {
-                inspecting.push(postponed);
-            }
-            l += 1;
-        }
+        // l with (l−1)P + D ≤ r, i.e. (l−1)P + D < r + 1 tick.
+        let excluded = jobs_released_before(r_next, hp.deadline(), hp.period());
+        rows.push(HpRow {
+            theta: theta[k.0],
+            period: hp.period(),
+            wcet: hp.wcet().ticks() as i128,
+            mk: hp.mk(),
+            excluded,
+            excluded_mandatory: pattern.mandatory_among(hp.mk(), excluded),
+        });
+    }
+    let rows: &[HpRow] = rows;
+    let c_i = ts.task(i).wcet().ticks() as i128;
+
+    // The absolute deadline is always an inspecting point (Definition 3);
+    // it usually dominates, so evaluating it first lets the `stop_at`
+    // cutoff skip most of the postponed-release points below.
+    let mut best = d.ticks() as i128 - demand_at(rows, pattern, c_i, d) - r_ticks;
+    if best >= stop_at {
+        return best;
     }
 
-    let mut best = i128::MIN;
-    for &t_bar in &inspecting {
-        // Σ of WCETs of higher-priority backup jobs with d_kl > r and
-        // r̃_kl < t̄ (Eq. 4). `d_kl > r` excludes a prefix of jobs,
-        // `r̃_kl < t̄` selects a prefix, so the interfering mandatory jobs
-        // are those with index in (excluded, selected].
-        let mut demand = ts.task(i).wcet().ticks() as i128;
-        for k in ts.ids().take(i.0) {
-            let hp = ts.task(k);
-            let theta_k = theta[k.0];
-            // l with (l−1)P + θ < t̄.
-            let selected = jobs_released_before(t_bar, theta_k, hp.period());
-            // l with (l−1)P + D ≤ r, i.e. (l−1)P + D < r + 1 tick.
-            let excluded =
-                jobs_released_before(r + Time::from_ticks(1), hp.deadline(), hp.period());
-            if selected > excluded {
-                let count = pattern.mandatory_among(hp.mk(), selected)
-                    - pattern.mandatory_among(hp.mk(), excluded);
-                demand += (hp.wcet().ticks() as i128) * (count as i128);
+    // The remaining inspecting points: every postponed higher-priority
+    // mandatory backup release strictly inside (r, d).
+    for (k, row) in ts.ids().take(i.0).zip(rows) {
+        // Jobs with r̃_kl ≤ r form a prefix of length `skip`; scan only
+        // the jobs landing inside (r, d) — at most D_i/P_k + 1 of them.
+        let skip = jobs_released_before(r_next, row.theta, row.period);
+        let mut l = skip + 1;
+        let mut postponed = ts.task(k).release_of(l) + row.theta;
+        while postponed < d {
+            debug_assert!(postponed > r);
+            if pattern.is_mandatory(row.mk, l) {
+                let candidate =
+                    postponed.ticks() as i128 - demand_at(rows, pattern, c_i, postponed) - r_ticks;
+                best = best.max(candidate);
+                if best >= stop_at {
+                    return best;
+                }
             }
+            l += 1;
+            postponed += row.period;
         }
-        let candidate = t_bar.ticks() as i128 - demand - r.ticks() as i128;
-        best = best.max(candidate);
     }
     best
 }
@@ -356,6 +450,7 @@ pub fn job_postponement(
 ) -> Result<JobPostponement, PostponeError> {
     let task_level = postponement_intervals(ts, config)?;
     let mut tables = Vec::with_capacity(ts.len());
+    let mut rows: Vec<HpRow> = Vec::with_capacity(ts.len());
     // Pure pool-based assignment so far? (See the soundness gate on
     // [`JobPostponement`].)
     let mut pure = true;
@@ -382,7 +477,17 @@ pub fn job_postponement(
             }
             let r = task.release_of(j);
             let d = r + task.deadline();
-            let t_ij = theta_for_job(ts, i, config.pattern, r, d, &task_level.theta);
+            // Per-job values are reported exactly, so no `stop_at` cutoff.
+            let t_ij = theta_for_job(
+                ts,
+                i,
+                config.pattern,
+                r,
+                d,
+                &task_level.theta,
+                i128::MAX,
+                &mut rows,
+            );
             let value = u64::try_from(t_ij).ok().map(Time::from_ticks);
             match value {
                 Some(t) if t >= promotion => table.push(Some(t)),
@@ -425,7 +530,10 @@ mod tests {
         assert_eq!(post.theta, vec![Time::from_ms(7), Time::from_ms(4)]);
         assert_eq!(
             post.raw_theta,
-            vec![Some(Time::from_ms(7)), Some(Time::from_ms(4))]
+            vec![
+                RawTheta::Exact(Time::from_ms(7)),
+                RawTheta::Exact(Time::from_ms(4))
+            ]
         );
         // Y2 = 15 − 14 = 1 per the paper's closing remark: θ2 ≫ Y2.
         assert_eq!(post.promotion[1], Time::from_ms(1));
@@ -465,8 +573,31 @@ mod tests {
             ..PostponeConfig::default()
         };
         let post = postponement_intervals(&ts, config).unwrap();
-        assert_eq!(post.raw_theta, vec![None, None]);
+        assert_eq!(
+            post.raw_theta,
+            vec![RawTheta::NotEnumerated, RawTheta::NotEnumerated]
+        );
         assert_eq!(post.theta, post.promotion);
+    }
+
+    #[test]
+    fn negative_raw_theta_reports_below_floor() {
+        // τ1 = (4,4,2,2,3), τ2 = (5,5,2,1,3): schedulable under the
+        // deeply-red pattern, but τ2's inspecting-point minimum is −1 ms —
+        // one of its mandatory jobs is swamped by carried-in
+        // higher-priority backup work at every inspecting point. The old
+        // `Option<Time>` raw_theta pushed the negative value through
+        // `u64::try_from(..).ok()` into `None`, indistinguishable from a
+        // hyperperiod too large to enumerate; it must surface as
+        // `BelowFloor` instead, with θ clamped to the promotion time.
+        let ts = set(&[(4, 4, 2, 2, 3), (5, 5, 2, 1, 3)]);
+        let post = postponement_intervals(&ts, PostponeConfig::default()).unwrap();
+        assert_eq!(post.raw_theta[1], RawTheta::BelowFloor);
+        assert_eq!(post.theta[1], post.promotion[1]);
+        // τ1 is alone on the spare: its slack D − C equals the promotion
+        // time, so its analysis completes with an exact value.
+        assert_eq!(post.raw_theta[0], RawTheta::Exact(post.promotion[0]));
+        assert_eq!(post.promotion, vec![Time::from_ms(2), Time::from_ms(1)]);
     }
 
     #[test]

@@ -46,11 +46,16 @@ pub enum CounterId {
     JobsMissed,
     /// (m,k) windows that newly entered violation.
     MkViolations,
+    /// Event-loop iterations aborted because the next event time did not
+    /// advance the clock. Always zero in a healthy run: the engine guards
+    /// against a zero-length step (which would spin a release build
+    /// forever) by flagging the stall and ending the run instead.
+    EngineStalls,
 }
 
 impl CounterId {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     /// Every counter, in storage/export order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -72,6 +77,7 @@ impl CounterId {
         CounterId::JobsMet,
         CounterId::JobsMissed,
         CounterId::MkViolations,
+        CounterId::EngineStalls,
     ];
 
     /// Storage index of this counter (its position in [`CounterId::ALL`]).
@@ -101,6 +107,7 @@ impl CounterId {
             CounterId::JobsMet => "jobs_met",
             CounterId::JobsMissed => "jobs_missed",
             CounterId::MkViolations => "mk_violations",
+            CounterId::EngineStalls => "engine_stalls",
         }
     }
 }

@@ -42,6 +42,13 @@
 //! creates a throwaway workspace per call. With `record_trace = false`
 //! the steady-state event loop performs **zero** allocations per event.
 //!
+//! Time advances on a pre-sized *event calendar* (a workspace-owned
+//! binary min-heap of typed entries — task releases, postponed copy
+//! releases, deadlines, running-copy completions, and the permanent
+//! fault) with lazy invalidation: entries are never removed when state
+//! changes; stale ones are discarded as they surface at the top. See
+//! [`EventCalendar`] and DESIGN.md §3 for the full mechanism.
+//!
 //! ## Observability
 //!
 //! The engine optionally narrates itself through a
@@ -227,6 +234,9 @@ struct CopyInst {
     /// Set while this copy occupies a processor (segment start).
     running_since: Option<Time>,
     job_entry: usize,
+    /// Position of this copy in `SimWorkspace::active_copies` while it is
+    /// `Pending` (O(1) swap-remove on the state transition out).
+    active_slot: usize,
 }
 
 /// A released job has at most two copies (main + backup); storing their
@@ -237,6 +247,9 @@ struct JobEntry {
     resolved: bool,
     copies: [usize; 2],
     copy_count: u8,
+    /// Position of this job in `SimWorkspace::open_jobs` while it is
+    /// unresolved (O(1) swap-remove at resolution).
+    open_slot: usize,
 }
 
 #[derive(Debug)]
@@ -245,6 +258,171 @@ struct TaskState {
     history: MkHistory,
     monitor: MkMonitor,
     exhausted: bool,
+}
+
+/// What a calendar entry announces. Each variant carries enough identity
+/// to re-validate itself against the live engine state ([lazy
+/// invalidation](EventCalendar)), so no entry ever needs to be removed
+/// from the middle of the heap when plans change.
+///
+/// Running-copy completions and job deadlines are deliberately *not*
+/// calendar entries — the calendar holds the event classes whose live
+/// instances the engine does not already index:
+///
+/// * with at most one running copy per processor, `clock + remaining`
+///   read straight off the `running` array is already the completion
+///   time, and keeping completions out of the heap spares it the most
+///   frequent (and, under preemption, most frequently restranded)
+///   entry class;
+/// * unresolved deadlines are exactly the `open_jobs` list — a handful
+///   of entries, bounded by the jobs in flight — and most jobs resolve
+///   well before their deadline, so per-job entries would roughly
+///   double heap traffic only to go stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// The next release of `task`; live while `next_index == index` and
+    /// the task is not exhausted. Every non-exhausted task keeps exactly
+    /// one live entry: `process_releases` pushes the successor whenever
+    /// it advances `next_index`.
+    TaskRelease { task: TaskId, index: u64 },
+    /// The future (postponed) release of an already-created copy — the
+    /// backup promotion `r̃ = r + θ`. Live while the copy is `Pending`
+    /// and its release is still ahead of the clock.
+    CopyRelease { copy: usize },
+    /// The configured permanent-fault injection; live until applied.
+    Fault,
+}
+
+/// One scheduled occurrence in the event calendar: the fire time plus the
+/// [`EventKind`] packed into one word (2-bit variant tag in the low bits,
+/// payload above), keeping the entry at 16 bytes so sift operations move
+/// half the memory a naive `(Time, EventKind)` pair would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CalendarEntry {
+    time: Time,
+    packed: u64,
+}
+
+const TAG_TASK_RELEASE: u64 = 0;
+const TAG_COPY_RELEASE: u64 = 1;
+const TAG_FAULT: u64 = 3;
+
+impl CalendarEntry {
+    fn new(time: Time, kind: EventKind) -> Self {
+        let packed = match kind {
+            EventKind::TaskRelease { task, index } => {
+                // 16 bits of task id and 46 of job index are far beyond
+                // any enumerable horizon.
+                debug_assert!(task.0 < (1 << 16) && index < (1 << 46));
+                (index << 18) | ((task.0 as u64) << 2) | TAG_TASK_RELEASE
+            }
+            EventKind::CopyRelease { copy } => ((copy as u64) << 2) | TAG_COPY_RELEASE,
+            EventKind::Fault => TAG_FAULT,
+        };
+        CalendarEntry { time, packed }
+    }
+
+    fn kind(self) -> EventKind {
+        match self.packed & 0b11 {
+            TAG_TASK_RELEASE => EventKind::TaskRelease {
+                task: TaskId(((self.packed >> 2) & 0xFFFF) as usize),
+                index: self.packed >> 18,
+            },
+            TAG_COPY_RELEASE => EventKind::CopyRelease {
+                copy: (self.packed >> 2) as usize,
+            },
+            _ => EventKind::Fault,
+        }
+    }
+}
+
+/// Pre-sized binary min-heap of timed events, keyed by [`Time`].
+///
+/// Cancellations (a canceled backup, a preempted copy, a resolved job)
+/// never perform heap surgery: the entry simply goes *stale* and is
+/// discarded when it reaches the top ([`Engine::entry_live`]). Staleness
+/// is monotone — arena indices are never reused within a run and every
+/// state transition an entry checks is one-way — so a discarded entry
+/// can never become live again, and no generation counters are needed.
+///
+/// The heap is hand-rolled over a workspace-owned `Vec` (rather than
+/// `std::collections::BinaryHeap`) so `begin_run` can clear and pre-size
+/// it while retaining capacity: pushes inside the hot-path region then
+/// stay allocation-free in steady state. Layout depends only on the
+/// push/pop sequence, never on capacity, so fresh and reused workspaces
+/// behave identically.
+#[derive(Debug, Default)]
+struct EventCalendar {
+    heap: Vec<CalendarEntry>,
+}
+
+impl EventCalendar {
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    fn push(&mut self, time: Time, kind: EventKind) {
+        self.heap.push(CalendarEntry::new(time, kind));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn peek(&self) -> Option<CalendarEntry> {
+        self.heap.first().copied()
+    }
+
+    fn pop(&mut self) -> Option<CalendarEntry> {
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let top = self.heap.pop();
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    // Both sifts move the displaced entry into a hole instead of
+    // swapping pairwise — same comparison sequence (so the exact same
+    // final layout), half the writes.
+
+    fn sift_up(&mut self, mut i: usize) {
+        let item = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].time <= item.time {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = item;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let item = self.heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len && self.heap[right].time < self.heap[left].time {
+                right
+            } else {
+                left
+            };
+            if item.time <= self.heap[child].time {
+                break;
+            }
+            self.heap[i] = self.heap[child];
+            i = child;
+        }
+        self.heap[i] = item;
+    }
 }
 
 /// Reusable per-run state of the simulator: an arena for copies, job
@@ -295,6 +473,14 @@ pub struct SimWorkspace {
     open_jobs: Vec<usize>,
     /// Scratch for deadline resolution (kept for its capacity).
     due_scratch: Vec<usize>,
+    /// Jobs whose deadline entry fired at the chosen next event time;
+    /// drained (sorted into release order) by the following iteration's
+    /// resolution phase. At most one job per task can share an instant,
+    /// so `begin_run` pre-sizes it to the task count.
+    deadline_scratch: Vec<usize>,
+    /// The event calendar driving time advance; cleared and pre-sized at
+    /// checkout, capacity retained across runs.
+    calendar: EventCalendar,
     trace: Trace,
     /// Merged busy intervals per processor, in time order.
     busy: [Vec<(Time, Time)>; 2],
@@ -354,6 +540,16 @@ impl SimWorkspace {
         self.active_copies.clear();
         self.open_jobs.clear();
         self.due_scratch.clear();
+        self.deadline_scratch.clear();
+        self.deadline_scratch.reserve(ts.len());
+        self.calendar.clear();
+        // Pre-size the calendar at checkout: one release entry per task,
+        // plus copy-release entries for the window of simultaneously
+        // pending backups, plus the fault. Steady-state residue is
+        // bounded by the same window (stale entries die as the clock
+        // passes them), and capacity is retained across runs, so the hot
+        // loop itself never grows the heap.
+        self.calendar.reserve(4 * ts.len() + 8);
         self.trace.segments.clear();
         self.trace.resolutions.clear();
         for intervals in &mut self.busy {
@@ -453,8 +649,24 @@ pub fn simulate_in<P: Policy + ?Sized>(
         active_energy: [crate::power::Energy::ZERO; 2],
         stats: JobStats::default(),
         violations: Vec::new(),
+        release_mask: u64::MAX,
+        dispatch_dirty: [true; 2],
+        opt_expiry: [Time::ZERO; 2],
+        time_advance: TimeAdvance::Calendar,
     };
     engine.run(policy)
+}
+
+/// How [`Engine::run`] finds the next event time. `Calendar` is the
+/// production path; `Scan` re-derives it with linear scans over all
+/// state (the pre-calendar engine, kept as a reference oracle — it also
+/// cross-checks the calendar via a `debug_assert_eq!` on every step of
+/// every debug-build run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimeAdvance {
+    Calendar,
+    #[cfg(test)]
+    Scan,
 }
 
 struct Engine<'a, 'w> {
@@ -471,6 +683,26 @@ struct Engine<'a, 'w> {
     active_energy: [crate::power::Energy; 2],
     stats: JobStats,
     violations: Vec<MkViolation>,
+    /// Tasks whose release entry fired at the chosen next event time,
+    /// as a bitset over task ids (bit 63 is shared by every task with
+    /// id ≥ 63). `u64::MAX` means "consider every task" — the first
+    /// iteration and the scan oracle use it. The following loop
+    /// iteration processes releases only for flagged tasks; processing
+    /// a task with nothing due is a no-op, so the mask only ever
+    /// over-approximates.
+    release_mask: u64,
+    /// Copies on each processor changed readiness since the last
+    /// dispatch there; cleared once the processor re-picks. While the
+    /// flag is off the previous pick is provably still the pick, so
+    /// dispatch skips the priority scan entirely.
+    dispatch_dirty: [bool; 2],
+    /// Lower bound on the earliest time an admitted optional copy on
+    /// each processor can become infeasible (`deadline - remaining`,
+    /// which only grows as the copy runs). The abandonment scan runs
+    /// only once the clock reaches the bound, and recomputes it from
+    /// the survivors; `Time::MAX` when no ready optionals exist.
+    opt_expiry: [Time; 2],
+    time_advance: TimeAdvance,
 }
 
 impl<'a, 'w> Engine<'a, 'w> {
@@ -498,10 +730,9 @@ impl<'a, 'w> Engine<'a, 'w> {
         self.emit(CounterId::BackupsReleased);
         if !backup_delay.is_zero() {
             self.emit(CounterId::BackupsPostponed);
-            self.emit_observe(
-                HistogramId::BackupDelayMs,
-                backup_delay.as_ms_f64().ceil() as u64,
-            );
+            // Integer div_ceil on ticks: exact for every delay, and no
+            // float math inside the recorder gate.
+            self.emit_observe(HistogramId::BackupDelayMs, backup_delay.as_ms_ceil());
         }
     }
 
@@ -516,16 +747,59 @@ impl<'a, 'w> Engine<'a, 'w> {
     // fresh allocating constructor may appear in this region.
     fn run<P: Policy + ?Sized>(mut self, policy: &mut P) -> SimReport {
         policy.init(self.ts);
+        self.seed_calendar();
         loop {
-            self.prune();
             self.apply_fault_if_due();
-            self.resolve_due_deadlines();
-            self.process_releases(policy);
+            match self.time_advance {
+                TimeAdvance::Calendar => {
+                    // Fired calendar entries name exactly the jobs and
+                    // tasks each phase must look at; everything else is
+                    // provably a no-op and skipped.
+                    if !self.ws.deadline_scratch.is_empty() {
+                        self.resolve_fired_deadlines();
+                    }
+                    if self.release_mask != 0 {
+                        self.process_releases(policy);
+                    }
+                }
+                #[cfg(test)]
+                TimeAdvance::Scan => {
+                    // The reference path re-runs every phase against all
+                    // state on every iteration, exactly like the
+                    // pre-calendar engine.
+                    self.resolve_due_deadlines();
+                    self.release_mask = u64::MAX;
+                    self.process_releases(policy);
+                    self.dispatch_dirty = [true; 2];
+                    self.opt_expiry = [Time::ZERO; 2];
+                }
+            }
             self.dispatch();
-            let Some(next) = self.next_event_time() else {
+            let next = match self.time_advance {
+                TimeAdvance::Calendar => self.next_event_time(),
+                #[cfg(test)]
+                TimeAdvance::Scan => self.next_event_time_scan(),
+            };
+            if let Some(next) = next {
+                if next <= self.clock {
+                    // A zero-length step means an event source is stuck
+                    // at or before the clock; advancing would spin
+                    // forever. Hard invariant in every build: flag the
+                    // stall and end the run (unresolved jobs miss at the
+                    // horizon below) instead of silently spinning.
+                    self.emit(CounterId::EngineStalls);
+                    break;
+                }
+            }
+            debug_assert_eq!(
+                next,
+                self.next_event_time_scan(),
+                "calendar/scan divergence at {}",
+                self.clock
+            );
+            let Some(next) = next else {
                 break;
             };
-            debug_assert!(next > self.clock, "no progress at {}", self.clock);
             self.advance_to(next);
             if self.clock >= self.config.horizon {
                 break;
@@ -537,41 +811,70 @@ impl<'a, 'w> Engine<'a, 'w> {
         self.finish(policy.name())
     }
 
-    /// Drops terminal copies / resolved jobs from the active lists so the
-    /// per-event scans stay O(active) instead of O(everything ever
-    /// released). Swap-remove keeps the scan allocation-free; the lists
-    /// are unordered, which no consumer relies on (dispatch picks by
-    /// unique priority keys, deadline resolution re-sorts its batch).
-    fn prune(&mut self) {
-        let copies = &self.ws.copies;
-        let active = &mut self.ws.active_copies;
-        // Swap-remove never invents indices, it only reorders; every
-        // entry must keep pointing into the arena it was pushed for.
-        debug_assert!(
-            active.iter().all(|&c| c < copies.len()),
-            "active copy index out of bounds"
-        );
-        let mut i = 0;
-        while i < active.len() {
-            if copies[active[i]].state == CopyState::Pending {
-                i += 1;
-            } else {
-                active.swap_remove(i);
-            }
+    /// Seeds the run's calendar: the permanent fault (if configured) and
+    /// the first release of every task. Everything else registers as the
+    /// state evolves — releases chain to their successor and postponed
+    /// copies enroll at creation (completions are read off the `running`
+    /// array, deadlines off the open-job list, not the calendar).
+    fn seed_calendar(&mut self) {
+        if let Some(pf) = self.config.faults.permanent {
+            self.ws.calendar.push(pf.at, EventKind::Fault);
         }
-        let jobs = &self.ws.jobs;
-        let open = &mut self.ws.open_jobs;
-        debug_assert!(
-            open.iter().all(|&j| j < jobs.len()),
-            "open job index out of bounds"
+        for (id, task) in self.ts.iter() {
+            let index = self.ws.tasks[id.0].next_index;
+            self.ws.calendar.push(
+                task.release_of(index),
+                EventKind::TaskRelease { task: id, index },
+            );
+        }
+    }
+
+    /// Enrolls a freshly created copy in the active list, recording its
+    /// slot for the O(1) removal in [`Engine::deactivate_copy`]. Marks
+    /// the processor for re-dispatch, and folds an admitted optional's
+    /// infeasibility time into the abandonment bound.
+    fn activate_copy(&mut self, c: usize) {
+        let copy = &mut self.ws.copies[c];
+        copy.active_slot = self.ws.active_copies.len();
+        let proc = copy.proc.index();
+        self.dispatch_dirty[proc] = true;
+        if copy.kind == CopyKind::Optional {
+            let expiry = copy.job.latest_start(copy.remaining);
+            self.opt_expiry[proc] = self.opt_expiry[proc].min(expiry);
+        }
+        self.ws.active_copies.push(c);
+    }
+
+    /// Removes a copy from the active list the moment it leaves
+    /// `Pending`, so the dispatch scans stay O(live copies) without a
+    /// per-event prune pass. The list is unordered, which no consumer
+    /// relies on (dispatch picks by unique priority keys).
+    fn deactivate_copy(&mut self, c: usize) {
+        self.dispatch_dirty[self.ws.copies[c].proc.index()] = true;
+        let slot = self.ws.copies[c].active_slot;
+        debug_assert_eq!(
+            self.ws.active_copies.get(slot).copied(),
+            Some(c),
+            "active slot out of sync"
         );
-        let mut i = 0;
-        while i < open.len() {
-            if jobs[open[i]].resolved {
-                open.swap_remove(i);
-            } else {
-                i += 1;
-            }
+        self.ws.active_copies.swap_remove(slot);
+        if let Some(&moved) = self.ws.active_copies.get(slot) {
+            self.ws.copies[moved].active_slot = slot;
+        }
+    }
+
+    /// Same as [`Engine::deactivate_copy`] for the open-job list, at
+    /// resolution.
+    fn deactivate_job(&mut self, j: usize) {
+        let slot = self.ws.jobs[j].open_slot;
+        debug_assert_eq!(
+            self.ws.open_jobs.get(slot).copied(),
+            Some(j),
+            "open slot out of sync"
+        );
+        self.ws.open_jobs.swap_remove(slot);
+        if let Some(&moved) = self.ws.open_jobs.get(slot) {
+            self.ws.jobs[moved].open_slot = slot;
         }
     }
 
@@ -591,19 +894,26 @@ impl<'a, 'w> Engine<'a, 'w> {
         self.fault_applied = true;
         self.emit(CounterId::FaultsInjected);
         self.emit(CounterId::PermanentFaults);
+        self.dispatch_dirty = [true; 2];
         let p = pf.proc;
         self.alive[p.index()] = false;
         self.death_time[p.index()] = Some(self.clock);
         if let Some(c) = self.running[p.index()].take() {
             self.close_segment(c, SegmentEnd::Lost);
         }
-        for i in 0..self.ws.active_copies.len() {
+        // Deactivation swap-removes the current slot, pulling an
+        // unexamined entry into it — advance only on keep.
+        let mut i = 0;
+        while i < self.ws.active_copies.len() {
             let idx = self.ws.active_copies[i];
-            let copy = &mut self.ws.copies[idx];
-            if copy.proc == p && copy.state == CopyState::Pending {
-                copy.state = CopyState::Lost;
+            debug_assert_eq!(self.ws.copies[idx].state, CopyState::Pending);
+            if self.ws.copies[idx].proc == p {
+                self.ws.copies[idx].state = CopyState::Lost;
                 self.stats.copies_lost += 1;
                 self.emit(CounterId::CopiesLost);
+                self.deactivate_copy(idx);
+            } else {
+                i += 1;
             }
         }
     }
@@ -631,9 +941,30 @@ impl<'a, 'w> Engine<'a, 'w> {
         self.ws.due_scratch = due;
     }
 
+    /// Calendar-driven counterpart of [`Engine::resolve_due_deadlines`]:
+    /// resolves exactly the jobs whose deadline entry fired at the
+    /// current clock, in release (arena) order. A job that completed in
+    /// the advance between fire and here is already resolved and skipped
+    /// — the same outcome the full scan reaches without the scan.
+    fn resolve_fired_deadlines(&mut self) {
+        let mut due = std::mem::take(&mut self.ws.deadline_scratch);
+        due.sort_unstable();
+        for &j in &due {
+            if self.ws.jobs[j].resolved {
+                continue;
+            }
+            let deadline = self.ws.jobs[j].job.deadline;
+            debug_assert!(deadline <= self.clock, "deadline fired early");
+            self.resolve(j, JobOutcome::Missed, deadline);
+        }
+        due.clear();
+        self.ws.deadline_scratch = due;
+    }
+
     fn resolve(&mut self, job_idx: usize, outcome: JobOutcome, at: Time) {
         debug_assert!(!self.ws.jobs[job_idx].resolved);
         self.ws.jobs[job_idx].resolved = true;
+        self.deactivate_job(job_idx);
         let job = self.ws.jobs[job_idx].job;
         let tstate = &mut self.ws.tasks[job.id.task.0];
         tstate.history.record(outcome);
@@ -688,29 +1019,69 @@ impl<'a, 'w> Engine<'a, 'w> {
             self.close_segment(c, ended);
         }
         self.ws.copies[c].state = state;
+        self.deactivate_copy(c);
     }
 
     // ----- releases ----------------------------------------------------
 
     fn process_releases<P: Policy + ?Sized>(&mut self, policy: &mut P) {
-        for (id, task) in self.ts.iter() {
-            loop {
-                let tstate = &self.ws.tasks[id.0];
-                if tstate.exhausted {
-                    break;
-                }
-                let index = tstate.next_index;
-                let release = task.release_of(index);
-                if task.deadline_of(index) > self.config.horizon {
-                    self.ws.tasks[id.0].exhausted = true;
-                    break;
-                }
-                if release > self.clock {
-                    break;
-                }
-                self.ws.tasks[id.0].next_index += 1;
-                self.release_job(policy, id, index, release);
+        // Consume the fired-release mask; tasks without their bit are
+        // provably not due (their release entry did not fire). Only the
+        // set bits are visited — in ascending task order, exactly like a
+        // full scan — except for the sentinel `u64::MAX` (first
+        // iteration, scan oracle) and the shared overflow bit 63 (task
+        // ids ≥ 63), which fall back to considering everyone in range.
+        let mask = std::mem::take(&mut self.release_mask);
+        if mask == u64::MAX {
+            for id in self.ts.ids() {
+                self.release_due_jobs_of(policy, id);
             }
+            return;
+        }
+        let mut bits = mask & !(1u64 << 63);
+        while bits != 0 {
+            let id = TaskId(bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+            self.release_due_jobs_of(policy, id);
+        }
+        if mask & (1u64 << 63) != 0 {
+            for id in self.ts.ids().skip(63) {
+                self.release_due_jobs_of(policy, id);
+            }
+        }
+    }
+
+    /// Releases every due job of one task, then chains the calendar to
+    /// the task's successor release: the entry for any index consumed
+    /// here fired (or will lazily drop), and every non-exhausted task
+    /// must keep exactly one live entry.
+    fn release_due_jobs_of<P: Policy + ?Sized>(&mut self, policy: &mut P, id: TaskId) {
+        let task = self.ts.task(id);
+        let start_index = self.ws.tasks[id.0].next_index;
+        loop {
+            let tstate = &self.ws.tasks[id.0];
+            if tstate.exhausted {
+                break;
+            }
+            let index = tstate.next_index;
+            let release = task.release_of(index);
+            if task.deadline_of(index) > self.config.horizon {
+                self.ws.tasks[id.0].exhausted = true;
+                break;
+            }
+            if release > self.clock {
+                break;
+            }
+            self.ws.tasks[id.0].next_index += 1;
+            self.release_job(policy, id, index, release);
+        }
+        let tstate = &self.ws.tasks[id.0];
+        if !tstate.exhausted && tstate.next_index != start_index {
+            let index = tstate.next_index;
+            self.ws.calendar.push(
+                task.release_of(index),
+                EventKind::TaskRelease { task: id, index },
+            );
         }
     }
 
@@ -789,17 +1160,19 @@ impl<'a, 'w> Engine<'a, 'w> {
                         fd_at_release: 0,
                         running_since: None,
                         job_entry,
+                        active_slot: usize::MAX,
                     });
                     copies[copy_count as usize] = main_idx;
                     copy_count += 1;
                     let backup_proc = main_proc.other();
                     if self.alive[backup_proc.index()] {
                         let backup_idx = self.ws.copies.len();
+                        let backup_release = release + backup_delay;
                         self.ws.copies.push(CopyInst {
                             job,
                             kind: CopyKind::Backup,
                             proc: backup_proc,
-                            release: release + backup_delay,
+                            release: backup_release,
                             remaining: job.wcet,
                             exec_total: job.wcet,
                             speed_permil: 1000,
@@ -808,10 +1181,16 @@ impl<'a, 'w> Engine<'a, 'w> {
                             fd_at_release: 0,
                             running_since: None,
                             job_entry,
+                            active_slot: usize::MAX,
                         });
                         self.ws.copies[main_idx].sibling = Some(backup_idx);
                         copies[copy_count as usize] = backup_idx;
                         copy_count += 1;
+                        if backup_release > self.clock {
+                            self.ws
+                                .calendar
+                                .push(backup_release, EventKind::CopyRelease { copy: backup_idx });
+                        }
                         self.emit_backup_release(backup_delay);
                     }
                 } else {
@@ -824,11 +1203,12 @@ impl<'a, 'w> Engine<'a, 'w> {
                     // lower-priority backup past its deadline even though
                     // the synchronous analysis passes.
                     let idx = self.ws.copies.len();
+                    let backup_release = release + backup_delay;
                     self.ws.copies.push(CopyInst {
                         job,
                         kind: CopyKind::Backup,
                         proc: main_proc.other(),
-                        release: release + backup_delay,
+                        release: backup_release,
                         remaining: job.wcet,
                         exec_total: job.wcet,
                         speed_permil: 1000,
@@ -837,19 +1217,26 @@ impl<'a, 'w> Engine<'a, 'w> {
                         fd_at_release: 0,
                         running_since: None,
                         job_entry,
+                        active_slot: usize::MAX,
                     });
                     copies[copy_count as usize] = idx;
                     copy_count += 1;
+                    if backup_release > self.clock {
+                        self.ws
+                            .calendar
+                            .push(backup_release, EventKind::CopyRelease { copy: idx });
+                    }
                     self.emit_backup_release(backup_delay);
                 }
                 for &c in &copies[..copy_count as usize] {
-                    self.ws.active_copies.push(c);
+                    self.activate_copy(c);
                 }
                 self.ws.jobs.push(JobEntry {
                     job,
                     resolved: false,
                     copies,
                     copy_count,
+                    open_slot: self.ws.open_jobs.len(),
                 });
                 self.ws.open_jobs.push(job_entry);
             }
@@ -875,13 +1262,15 @@ impl<'a, 'w> Engine<'a, 'w> {
                     fd_at_release: fd,
                     running_since: None,
                     job_entry,
+                    active_slot: usize::MAX,
                 });
-                self.ws.active_copies.push(idx);
+                self.activate_copy(idx);
                 self.ws.jobs.push(JobEntry {
                     job,
                     resolved: false,
                     copies: [idx, 0],
                     copy_count: 1,
+                    open_slot: self.ws.open_jobs.len(),
                 });
                 self.ws.open_jobs.push(job_entry);
             }
@@ -894,6 +1283,7 @@ impl<'a, 'w> Engine<'a, 'w> {
                     resolved: false,
                     copies: [0, 0],
                     copy_count: 0,
+                    open_slot: self.ws.open_jobs.len(),
                 });
                 self.ws.open_jobs.push(job_entry);
             }
@@ -915,7 +1305,19 @@ impl<'a, 'w> Engine<'a, 'w> {
             if !self.alive[proc.index()] {
                 continue;
             }
-            self.abandon_infeasible_optionals(proc);
+            // Feasibility decays with the clock even when nothing else
+            // changes, so the abandonment check keys on time — but only
+            // once the clock reaches the earliest possible expiry.
+            if self.clock >= self.opt_expiry[proc.index()] {
+                self.abandon_infeasible_optionals(proc);
+            }
+            // The pick is a pure function of the ready set; until some
+            // copy on this processor changes readiness, the previous
+            // pick stands and the scan is skipped.
+            if !self.dispatch_dirty[proc.index()] {
+                continue;
+            }
+            self.dispatch_dirty[proc.index()] = false;
             let pick = self.pick_copy(proc);
             let current = self.running[proc.index()];
             if current == pick {
@@ -938,22 +1340,37 @@ impl<'a, 'w> Engine<'a, 'w> {
     /// Abandons every ready optional copy on `proc` that can no longer
     /// finish by its deadline even if it ran uninterrupted from now.
     fn abandon_infeasible_optionals(&mut self, proc: ProcId) {
-        // `stop_copy` never touches `active_copies`, so plain index
-        // iteration is safe (and allocation-free).
-        for i in 0..self.ws.active_copies.len() {
+        // `stop_copy` swap-removes the abandoned copy from
+        // `active_copies`, pulling an unexamined entry into the current
+        // slot — advance only on keep. Survivors rebuild the expiry
+        // bound: `latest_start` only grows as a copy runs, so the
+        // recomputed minimum stays a sound lower bound until the next
+        // optional is admitted (which folds itself in at activation).
+        let mut next_expiry = Time::MAX;
+        let mut i = 0;
+        while i < self.ws.active_copies.len() {
             let c = self.ws.active_copies[i];
             let copy = &self.ws.copies[c];
+            debug_assert_eq!(copy.state, CopyState::Pending);
             if copy.proc == proc
                 && copy.kind == CopyKind::Optional
-                && copy.state == CopyState::Pending
                 && copy.release <= self.clock
                 && !copy.job.feasible_from(self.clock, copy.remaining)
             {
                 self.stats.optional_abandoned += 1;
                 self.emit(CounterId::OptionalAbandoned);
                 self.stop_copy(c, CopyState::Abandoned, SegmentEnd::Preempted);
+            } else {
+                if copy.proc == proc
+                    && copy.kind == CopyKind::Optional
+                    && copy.release <= self.clock
+                {
+                    next_expiry = next_expiry.min(copy.job.latest_start(copy.remaining));
+                }
+                i += 1;
             }
         }
+        self.opt_expiry[proc.index()] = next_expiry;
     }
 
     /// MJQ strictly above OJQ; MJQ in fixed-priority order, OJQ ordered
@@ -962,32 +1379,145 @@ impl<'a, 'w> Engine<'a, 'w> {
     /// processor), so the unordered `active_copies` scan is
     /// deterministic.
     fn pick_copy(&self, proc: ProcId) -> Option<usize> {
-        let ready = |c: &CopyInst| {
-            c.proc == proc && c.state == CopyState::Pending && c.release <= self.clock
-        };
-        let mandatory = self
-            .ws
-            .active_copies
-            .iter()
-            .map(|&i| (i, &self.ws.copies[i]))
-            .filter(|(_, c)| ready(c) && c.kind != CopyKind::Optional)
-            .min_by_key(|(_, c)| (c.job.id.task, c.job.id.index))
-            .map(|(i, _)| i);
-        if mandatory.is_some() {
-            return mandatory;
+        // One pass tracking the best mandatory and best optional
+        // candidate; MJQ trumps OJQ. The active list holds only pending
+        // copies (eager deactivation), and the priority keys are unique
+        // per processor, so the unordered scan stays deterministic.
+        let mut best_mandatory: Option<((TaskId, u64), usize)> = None;
+        let mut best_optional: Option<((u32, TaskId, u64), usize)> = None;
+        for &i in &self.ws.active_copies {
+            let c = &self.ws.copies[i];
+            debug_assert_eq!(c.state, CopyState::Pending);
+            if c.proc != proc || c.release > self.clock {
+                continue;
+            }
+            if c.kind == CopyKind::Optional {
+                let key = (c.fd_at_release, c.job.id.task, c.job.id.index);
+                if best_optional.is_none_or(|(k, _)| key < k) {
+                    best_optional = Some((key, i));
+                }
+            } else {
+                let key = (c.job.id.task, c.job.id.index);
+                if best_mandatory.is_none_or(|(k, _)| key < k) {
+                    best_mandatory = Some((key, i));
+                }
+            }
         }
-        self.ws
-            .active_copies
-            .iter()
-            .map(|&i| (i, &self.ws.copies[i]))
-            .filter(|(_, c)| ready(c) && c.kind == CopyKind::Optional)
-            .min_by_key(|(_, c)| (c.fd_at_release, c.job.id.task, c.job.id.index))
-            .map(|(i, _)| i)
+        match best_mandatory {
+            Some((_, i)) => Some(i),
+            None => best_optional.map(|(_, i)| i),
+        }
     }
 
     // ----- time advance --------------------------------------------------
 
-    fn next_event_time(&self) -> Option<Time> {
+    /// True when a calendar entry still announces a real occurrence.
+    /// Every entry carries enough identity to re-check itself against
+    /// the live state; staleness is monotone (arena indices are never
+    /// reused within a run, each checked transition is one-way, the
+    /// clock only grows), so a stale entry can be dropped for good the
+    /// moment it surfaces.
+    fn entry_live(&self, entry: CalendarEntry) -> bool {
+        match entry.kind() {
+            EventKind::TaskRelease { task, index } => {
+                let tstate = &self.ws.tasks[task.0];
+                !tstate.exhausted && tstate.next_index == index
+            }
+            EventKind::CopyRelease { copy } => {
+                let c = &self.ws.copies[copy];
+                c.state == CopyState::Pending && c.release > self.clock
+            }
+            EventKind::Fault => !self.fault_applied,
+        }
+    }
+
+    /// Earliest future event: the nearer of the running copies'
+    /// completions (read off the `running` array) and the calendar top.
+    ///
+    /// Stale tops are lazily discarded as they surface; entries firing
+    /// exactly at the returned time are consumed here, and each fired
+    /// entry tells the next loop iteration precisely where to look — the
+    /// released task's bit in `release_mask`, the due job's index in
+    /// `deadline_scratch`, the readied copy's processor in
+    /// `dispatch_dirty`. Matches [`Engine::next_event_time_scan`]
+    /// exactly on every reachable state (cross-checked per step in
+    /// debug builds).
+    fn next_event_time(&mut self) -> Option<Time> {
+        let mut next = self.config.horizon;
+        let mut any = self.clock < self.config.horizon;
+        for &proc in &ProcId::ALL {
+            if let Some(c) = self.running[proc.index()] {
+                next = next.min(self.clock + self.ws.copies[c].remaining);
+                any = true;
+            }
+        }
+        for &i in &self.ws.open_jobs {
+            let job = &self.ws.jobs[i];
+            if !job.resolved && job.job.deadline > self.clock {
+                next = next.min(job.job.deadline);
+                any = true;
+            }
+        }
+        while let Some(top) = self.ws.calendar.peek() {
+            if !self.entry_live(top) {
+                self.ws.calendar.pop();
+                continue;
+            }
+            if top.time < next {
+                next = top.time;
+            }
+            // A pending permanent fault alone does not keep the run
+            // alive, matching the scan: a dead-idle system past its last
+            // deadline ends even with the fault still scheduled.
+            if !matches!(top.kind(), EventKind::Fault) {
+                any = true;
+            }
+            break;
+        }
+        if !any {
+            return None;
+        }
+        // Deadlines reaching resolution at `next`: every open deadline
+        // took part in the min above, so the due ones equal `next`
+        // exactly — and no task has two, since a task's job deadlines
+        // are strictly increasing.
+        for &i in &self.ws.open_jobs {
+            let job = &self.ws.jobs[i];
+            if !job.resolved && job.job.deadline > self.clock && job.job.deadline <= next {
+                self.ws.deadline_scratch.push(i);
+            }
+        }
+        // Consume everything firing at `next` (and any stale residue at
+        // or below it), recording where the next iteration must act.
+        // Fired entries need no successor push here: releases chain in
+        // `process_releases`, copy releases and faults are observed
+        // directly from engine state next iteration.
+        while let Some(top) = self.ws.calendar.peek() {
+            if top.time > next {
+                break;
+            }
+            let live = self.entry_live(top);
+            self.ws.calendar.pop();
+            if live {
+                match top.kind() {
+                    EventKind::TaskRelease { task, .. } => {
+                        self.release_mask |= 1u64 << task.0.min(63);
+                    }
+                    EventKind::CopyRelease { copy } => {
+                        self.dispatch_dirty[self.ws.copies[copy].proc.index()] = true;
+                    }
+                    EventKind::Fault => {}
+                }
+            }
+        }
+        Some(next)
+    }
+
+    /// The pre-calendar linear-scan derivation of the next event time,
+    /// kept as a reference oracle: `run` cross-checks the calendar
+    /// against it on every step in debug builds, and the in-module
+    /// differential tests drive whole runs with it (`TimeAdvance::Scan`).
+    fn next_event_time_scan(&self) -> Option<Time> {
         let mut next = self.config.horizon;
         let mut any = self.clock < self.config.horizon;
         if !self.fault_applied {
@@ -1025,7 +1555,7 @@ impl<'a, 'w> Engine<'a, 'w> {
         if !any {
             return None;
         }
-        Some(next.max(self.clock))
+        Some(next)
     }
 
     fn advance_to(&mut self, next: Time) {
@@ -1060,6 +1590,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             self.running[proc.index()] = None;
             self.close_segment(c, SegmentEnd::Completed);
             self.ws.copies[c].state = CopyState::Done { faulted };
+            self.deactivate_copy(c);
             match self.ws.copies[c].kind {
                 CopyKind::Backup => {
                     self.stats.backups_completed += 1;
@@ -1467,6 +1998,211 @@ mod tests {
                     assert_eq!(reused.energy, fresh.energy);
                 }
             }
+        }
+    }
+
+    /// [`simulate_in`] with two extra knobs for the tests below: the
+    /// time-advance mechanism, and a hook to poke the freshly reset
+    /// workspace (e.g. forge a calendar entry) before the run starts.
+    fn run_prepared<P: Policy + ?Sized>(
+        ws: &mut SimWorkspace,
+        ts: &TaskSet,
+        policy: &mut P,
+        config: &SimConfig,
+        time_advance: TimeAdvance,
+        prepare: impl FnOnce(&mut SimWorkspace),
+    ) -> SimReport {
+        ws.begin_run(ts);
+        prepare(ws);
+        let engine = Engine {
+            ts,
+            config,
+            ws,
+            clock: Time::ZERO,
+            running: [None, None],
+            alive: [true, true],
+            death_time: [None, None],
+            fault_applied: false,
+            sampler: TransientSampler::new(&config.faults),
+            active_energy: [crate::power::Energy::ZERO; 2],
+            stats: JobStats::default(),
+            violations: Vec::new(),
+            release_mask: u64::MAX,
+            dispatch_dirty: [true; 2],
+            opt_expiry: [Time::ZERO; 2],
+            time_advance,
+        };
+        engine.run(policy)
+    }
+
+    /// Regression for the release-mode stall: a calendar entry stuck at
+    /// (or before) the clock used to spin the event loop forever in
+    /// release builds, where the old `debug_assert!(next > clock)`
+    /// compiled away. The guard is now a hard invariant in every build:
+    /// the run flags the stall, stops advancing, and still resolves
+    /// every released job at the horizon.
+    #[test]
+    fn zero_length_step_ends_the_run_instead_of_spinning() {
+        use mkss_obs::Registry;
+
+        let ts = fig1_set();
+        let config = SimConfig::active_only(Time::from_ms(20));
+        let registry = Arc::new(Registry::new(1));
+        let mut ws = SimWorkspace::with_recorder(Arc::new(registry.handle_at(0)));
+
+        // Forge a release entry for τ1's *second* job at t = 0. The
+        // first `process_releases` pass advances τ1's `next_index` to 2,
+        // which makes the forged entry live, so `next_event_time`
+        // returns 0 == clock: a zero-length step out of a state the
+        // engine can never produce on its own.
+        let report = run_prepared(
+            &mut ws,
+            &ts,
+            &mut StaticRef,
+            &config,
+            TimeAdvance::Calendar,
+            |ws| {
+                ws.calendar.push(
+                    Time::ZERO,
+                    EventKind::TaskRelease {
+                        task: TaskId(0),
+                        index: 2,
+                    },
+                );
+            },
+        );
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(CounterId::EngineStalls),
+            1,
+            "stall not flagged"
+        );
+        // The run still terminates and accounts for everything it
+        // released before stopping: both t=0 jobs miss at the horizon.
+        assert_eq!(report.stats.released, 2);
+        assert_eq!(
+            report.stats.met + report.stats.missed,
+            report.stats.released
+        );
+
+        // The same run without the forged entry never stalls.
+        let clean = run_prepared(
+            &mut ws,
+            &ts,
+            &mut StaticRef,
+            &config,
+            TimeAdvance::Calendar,
+            |_| {},
+        );
+        assert_eq!(registry.snapshot().counter(CounterId::EngineStalls), 1);
+        assert_eq!(clean.stats.met, 3);
+    }
+
+    /// Whole-run differential between the production calendar and the
+    /// pre-calendar linear-scan oracle, across fault configs and trace
+    /// on/off. The per-step `debug_assert_eq!` in `run` already
+    /// cross-checks the chosen event times on every debug-build run;
+    /// this pins the end-to-end reports too.
+    #[test]
+    fn scan_oracle_and_calendar_reports_are_identical() {
+        let sets = [
+            fig1_set(),
+            TaskSet::new(vec![Task::from_ms(10, 10, 2, 1, 2).unwrap()]).unwrap(),
+        ];
+        let horizon = Time::from_ms(40);
+        let configs = [
+            SimConfig::active_only(horizon),
+            SimConfig::new(horizon),
+            SimConfig::builder()
+                .horizon(horizon)
+                .faults(FaultConfig::permanent(ProcId::SPARE, Time::from_ms(6)))
+                .record_trace(true)
+                .build(),
+            SimConfig::builder()
+                .horizon(horizon)
+                .faults(FaultConfig::combined(
+                    ProcId::PRIMARY,
+                    Time::from_ms(17),
+                    0.4,
+                    9,
+                ))
+                .build(),
+        ];
+        let mut ws = SimWorkspace::new();
+        for ts in &sets {
+            for config in &configs {
+                let calendar = run_prepared(
+                    &mut ws,
+                    ts,
+                    &mut StaticRef,
+                    config,
+                    TimeAdvance::Calendar,
+                    |_| {},
+                );
+                let scan = run_prepared(
+                    &mut ws,
+                    ts,
+                    &mut StaticRef,
+                    config,
+                    TimeAdvance::Scan,
+                    |_| {},
+                );
+                assert_eq!(
+                    format!("{calendar:?}"),
+                    format!("{scan:?}"),
+                    "calendar/scan reports diverge"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The calendar is a min-heap on time: every pop — including
+        /// pops interleaved with pushes — returns the minimum of what is
+        /// currently stored, checked against a reference multiset. Drain
+        /// order is therefore nondecreasing once pushes stop.
+        #[test]
+        fn calendar_pops_are_time_ordered(
+            times in proptest::collection::vec(0u64..10_000, 1..200),
+            interleave in proptest::collection::vec(proptest::prelude::any::<bool>(), 1..200),
+        ) {
+            let mut calendar = EventCalendar::default();
+            let mut reference: Vec<u64> = Vec::new();
+            let pop_and_check = |calendar: &mut EventCalendar,
+                                     reference: &mut Vec<u64>|
+             -> Result<(), proptest::test_runner::TestCaseError> {
+                let entry = calendar.pop();
+                proptest::prop_assert_eq!(entry.is_some(), !reference.is_empty());
+                if let Some(entry) = entry {
+                    let (slot, &min) = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, t)| t)
+                        .expect("reference non-empty");
+                    proptest::prop_assert_eq!(
+                        entry.time,
+                        Time::from_ticks(min),
+                        "pop is not the pending minimum"
+                    );
+                    reference.swap_remove(slot);
+                }
+                Ok(())
+            };
+            for (i, &t) in times.iter().enumerate() {
+                calendar.push(Time::from_ticks(t), EventKind::Fault);
+                reference.push(t);
+                if *interleave.get(i).unwrap_or(&false) {
+                    pop_and_check(&mut calendar, &mut reference)?;
+                }
+            }
+            let mut last = Time::ZERO;
+            while let Some(top) = calendar.peek() {
+                proptest::prop_assert!(top.time >= last, "drain went backwards");
+                last = top.time;
+                pop_and_check(&mut calendar, &mut reference)?;
+            }
+            proptest::prop_assert!(reference.is_empty());
         }
     }
 }

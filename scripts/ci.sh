@@ -61,24 +61,52 @@ assert doc["counters"]["jobs_released"] > 0, "compare smoke released no jobs"
 print("metrics document ok:", ", ".join(sorted(doc)))
 PY
 
-echo "== sim_bench drift check (warn-only) =="
-cargo run --release -q -p mkss-bench --bin sim_bench -- \
-    --sets 4 --reps 2 --out "$tmpdir/bench.json" 2>/dev/null
-python3 - "$tmpdir/bench.json" BENCH_sim.json <<'PY'
+echo "== sim_bench drift check (hard gate) =="
+# A >25% drop below the tracked BENCH_sim.json baseline fails CI. Both
+# sides are best-of measurements: sim_bench keeps the best of its reps,
+# and the gate keeps each path's best over up to 3 attempts, so a
+# transient load spike on a shared machine has to survive every attempt
+# before it can fail the build. Escape hatch for machines that stay
+# saturated (or while intentionally re-baselining):
+#   MKSS_BENCH_ALLOW_DRIFT=1 scripts/ci.sh
+# downgrades the failure back to a warning. To re-baseline after a real,
+# intended performance change, record a fresh full run on an otherwise
+# idle machine and commit it:
+#   cargo run --release -p mkss-bench --bin sim_bench -- --out BENCH_sim.json
+drift_status=1
+for attempt in 1 2 3; do
+    cargo run --release -q -p mkss-bench --bin sim_bench -- \
+        --out "$tmpdir/bench$attempt.json" 2>/dev/null
+    if python3 - BENCH_sim.json "$tmpdir"/bench*.json <<'PY'
 import json, sys
-now = json.load(open(sys.argv[1]))
-baseline = json.load(open(sys.argv[2]))
-# jobs_per_second is roughly invariant to the shortened --sets/--reps, so
-# it is comparable against the tracked baseline. Report (never fail) on a
-# >25% drop: shared-machine noise makes this a tripwire, not a gate.
+baseline = json.load(open(sys.argv[1]))
+attempts = [json.load(open(p)) for p in sys.argv[2:]]
+ok = True
 for path in ("fresh", "reuse"):
-    measured = now[path]["jobs_per_second"]
+    measured = max(a[path]["jobs_per_second"] for a in attempts)
     reference = baseline[path]["jobs_per_second"]
     if measured < 0.75 * reference:
-        print(f"WARNING: {path} throughput {measured:,.0f} jobs/s is >25% "
-              f"below the BENCH_sim.json baseline {reference:,.0f} jobs/s")
+        ok = False
+        print(f"{path}: best {measured:,.0f} jobs/s is >25% below the "
+              f"BENCH_sim.json baseline {reference:,.0f} jobs/s")
     else:
         print(f"{path}: {measured:,.0f} jobs/s (baseline {reference:,.0f}: ok)")
+sys.exit(0 if ok else 1)
 PY
+    then
+        drift_status=0
+        break
+    fi
+    echo "drift check attempt $attempt/3 below threshold, retrying"
+done
+if [ "$drift_status" -ne 0 ]; then
+    if [ "${MKSS_BENCH_ALLOW_DRIFT:-0}" = "1" ]; then
+        echo "WARNING: sim_bench drift gate failed (allowed by MKSS_BENCH_ALLOW_DRIFT=1)"
+    else
+        echo "ERROR: sim_bench drift gate failed on every attempt; see scripts/ci.sh" \
+             "for the MKSS_BENCH_ALLOW_DRIFT escape hatch and re-baseline procedure" >&2
+        exit 1
+    fi
+fi
 
 echo "CI gate passed."

@@ -9,9 +9,11 @@
 //! * per-task job outcomes are resolved in release order;
 //! * active energy equals busy time under the active-only power model.
 
+use mkss::obs::{CounterId, Registry};
 use mkss::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn schedulable_set(seed: u64, util_pct: u64) -> Option<TaskSet> {
     let config = WorkloadConfig {
@@ -111,6 +113,48 @@ proptest! {
         // Its accounted lifetime stops at the fault.
         let b = report.energy[proc.index()];
         prop_assert_eq!(b.busy_time + b.idle_time, Time::from_ms(fault_ms));
+    }
+
+    /// The clock only ever moves forward: job resolutions land in
+    /// nondecreasing time order across the whole run (each is recorded
+    /// at the then-current clock), and the engine never takes a
+    /// zero-length step — the `engine_stalls` counter, bumped by the
+    /// event loop's hard no-progress guard, stays at zero on every
+    /// reachable input.
+    #[test]
+    fn clock_progress_is_monotone_and_stall_free(
+        seed in 0u64..5_000,
+        util_pct in 15u64..65,
+        fault_ms in 0u64..300,
+    ) {
+        let Some(ts) = schedulable_set(seed, util_pct) else { return Ok(()); };
+        let registry = Arc::new(Registry::new(1));
+        let mut ws = SimWorkspace::with_recorder(Arc::new(registry.handle_at(0)));
+        let horizon = Time::from_ms(300);
+        let configs = [
+            SimConfig::builder().horizon(horizon).active_only().build(),
+            SimConfig::builder()
+                .horizon(horizon)
+                .active_only()
+                .faults(FaultConfig::combined(ProcId::SPARE, Time::from_ms(fault_ms), 0.01, seed))
+                .build(),
+        ];
+        for kind in [PolicyKind::Static, PolicyKind::DualPriority, PolicyKind::Greedy, PolicyKind::Selective] {
+            for config in &configs {
+                let mut policy = kind.build(&ts, &BuildOptions::default()).unwrap();
+                let report = simulate_in(&mut ws, &ts, policy.as_mut(), config);
+                let trace = report.trace.as_ref().expect("trace recorded");
+                let mut last = Time::ZERO;
+                for r in &trace.resolutions {
+                    prop_assert!(
+                        r.at >= last,
+                        "resolution of {} at {} after one at {}", r.job, r.at, last
+                    );
+                    last = r.at;
+                }
+            }
+        }
+        prop_assert_eq!(registry.snapshot().counter(CounterId::EngineStalls), 0);
     }
 
     /// Optional jobs never displace mandatory work: both the selective
