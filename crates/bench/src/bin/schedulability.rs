@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use mkss_bench::sched::{render, schedulability_experiment_observed, SchedConfig};
 use mkss_core::par;
-use mkss_obs::{MetricsDoc, MetricsSnapshot, Reporter, Stopwatch};
+use mkss_obs::{MetricsSnapshot, Reporter, Stopwatch};
 
 fn main() -> ExitCode {
     let reporter = Arc::new(Reporter::stderr());
@@ -70,12 +70,16 @@ fn main() -> ExitCode {
     if let Some(path) = &metrics_out {
         // No simulation runs here, so the engine-event snapshot is empty;
         // the document still records the analysis wall time and scale.
-        let mut doc = MetricsDoc::new(MetricsSnapshot::empty());
-        doc.push_meta("binary", "schedulability");
-        doc.push_meta("buckets", rows.len().to_string());
-        doc.push_meta("samples", samples.to_string());
-        doc.push_meta("jobs", par::effective_jobs(jobs).to_string());
-        doc.push_stage("analyze_ms", analyze_ms);
+        let doc = mkss_obs::metrics_doc(
+            "schedulability",
+            MetricsSnapshot::empty(),
+            &[
+                ("buckets", rows.len().to_string()),
+                ("samples", samples.to_string()),
+                ("jobs", par::effective_jobs(jobs).to_string()),
+            ],
+            &[("analyze_ms", analyze_ms)],
+        );
         if let Err(e) = std::fs::write(path, doc.to_json()) {
             reporter.line(&format!("error writing {path}: {e}"));
             return ExitCode::FAILURE;

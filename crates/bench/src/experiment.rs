@@ -12,8 +12,9 @@ use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
 use mkss_obs::{Recorder, Registry, Reporter, Stopwatch};
 use mkss_policies::{BuildOptions, PolicyKind};
-use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
+use mkss_sim::engine::{simulate_in, SimConfig};
 use mkss_sim::fault::FaultConfig;
+use mkss_sim::pool::WorkspacePool;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
 use mkss_workload::{generate_buckets_jobs, BucketPlan, WorkloadConfig};
@@ -261,23 +262,26 @@ impl HarnessObs {
 
 /// Assembles the standard `--metrics-out` document shared by the bench
 /// binaries: the registry snapshot, `binary` plus caller metadata, and
-/// the four harness stage wall-times.
+/// the four harness stage wall-times. A thin wrapper over the
+/// workspace-wide [`mkss_obs::metrics_doc`] entry point that fixes the
+/// stage names to the harness pipeline's.
 pub fn metrics_doc(
     binary: &str,
     registry: &Registry,
     stages: &StageTimes,
     meta: &[(&str, String)],
 ) -> mkss_obs::MetricsDoc {
-    let mut doc = mkss_obs::MetricsDoc::new(registry.snapshot());
-    doc.push_meta("binary", binary);
-    for (key, value) in meta {
-        doc.push_meta(key, value.clone());
-    }
-    doc.push_stage("generate_ms", stages.generate_ms);
-    doc.push_stage("build_ms", stages.build_ms);
-    doc.push_stage("simulate_ms", stages.simulate_ms);
-    doc.push_stage("fold_ms", stages.fold_ms);
-    doc
+    mkss_obs::metrics_doc(
+        binary,
+        registry.snapshot(),
+        meta,
+        &[
+            ("generate_ms", stages.generate_ms),
+            ("build_ms", stages.build_ms),
+            ("simulate_ms", stages.simulate_ms),
+            ("fold_ms", stages.fold_ms),
+        ],
+    )
 }
 
 /// Observability counters of one [`run_experiment_jobs`] call, serialized
@@ -840,13 +844,14 @@ enum SetOutcome {
     ZeroReference,
 }
 
-thread_local! {
-    /// Per-worker simulation arena. `run_experiment_jobs` fans sets
-    /// across worker threads; each worker reuses its own workspace for
-    /// every set × policy it simulates, so steady-state simulation is
-    /// allocation-free (see `mkss_sim::engine::SimWorkspace`).
-    static WORKSPACE: std::cell::RefCell<SimWorkspace> =
-        std::cell::RefCell::new(SimWorkspace::new());
+/// Process-wide simulation arena pool shared by every experiment run.
+/// Replaces the old per-thread `thread_local!` arenas: a worker checks
+/// an arena out per set and returns it on drop, so capacity grown by one
+/// run is reused by the next no matter which thread picks it up — and
+/// the pool is inspectable/pre-warmable where a thread-local never was.
+fn workspace_pool() -> &'static WorkspacePool {
+    static POOL: std::sync::OnceLock<WorkspacePool> = std::sync::OnceLock::new();
+    POOL.get_or_init(WorkspacePool::new)
 }
 
 /// Per-set stage timing (analysis/build vs. simulation proper).
@@ -856,8 +861,8 @@ struct SetTiming {
     simulate_ms: f64,
 }
 
-/// Simulates all policies on one set (inside the calling worker's
-/// reusable workspace), optionally reporting engine events to `recorder`.
+/// Simulates all policies on one set (inside an arena checked out of the
+/// shared pool), optionally reporting engine events to `recorder`.
 fn simulate_set(
     ts: &TaskSet,
     policies: &[PolicyKind],
@@ -873,6 +878,10 @@ fn simulate_set(
     let build_opts = BuildOptions::default();
     let mut timing = SetTiming::default();
     let mut energies: BTreeMap<PolicyKind, (f64, u64)> = BTreeMap::new();
+    // One checkout covers every policy on this set; the guard returns the
+    // arena (recorder detached) when the set is done.
+    let mut ws = workspace_pool().checkout();
+    ws.set_recorder(recorder.cloned());
     for &kind in policies {
         let build_watch = Stopwatch::start();
         let mut policy = match kind.build(ts, &build_opts) {
@@ -884,13 +893,7 @@ fn simulate_set(
         };
         timing.build_ms += build_watch.elapsed_ms();
         let simulate_watch = Stopwatch::start();
-        let report = WORKSPACE.with(|ws| {
-            let mut ws = ws.borrow_mut();
-            // Set-or-clear on every call: the thread-local workspace may
-            // be reused by an unobserved run on the same worker later.
-            ws.set_recorder(recorder.cloned());
-            simulate_in(&mut ws, ts, policy.as_mut(), &sim_config)
-        });
+        let report = simulate_in(&mut ws, ts, policy.as_mut(), &sim_config);
         timing.simulate_ms += simulate_watch.elapsed_ms();
         energies.insert(
             kind,

@@ -34,6 +34,7 @@ use mkss_obs::{EchoRecorder, LogLevel, MetricsDoc, Recorder, Registry, Reporter,
 use mkss_policies::{BuildOptions, PolicyKind};
 use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
 use mkss_sim::fault::FaultConfig;
+use mkss_sim::pool::WorkspacePool;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
 use mkss_sim::vcd::render_vcd;
@@ -88,6 +89,8 @@ commands:
            run every policy, print one row each
   generate [--util U] [--seed S] [--tasks MIN..MAX]  emit a schedulable set as JSON
   policies                                     list available policies
+  serve    (--socket PATH | --tcp ADDR) [--workers N] [--queue N] [--fanout N]
+           run the line-protocol simulation daemon until a shutdown request
 
 environment:
   MKSS_LOG=off|summary|events  attach an engine-event recorder to simulate
@@ -111,6 +114,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "compare" => cmd_compare(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "policies" => Ok(cmd_policies()),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Input(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -394,11 +398,9 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
     // Every policy simulates the same set independently — fan them out;
     // rows are then rendered in registry order, so the output (including
     // the "first applicable policy" normalization reference) is identical
-    // to the serial loop. Each worker thread reuses one arena.
-    thread_local! {
-        static WORKSPACE: std::cell::RefCell<SimWorkspace> =
-            std::cell::RefCell::new(SimWorkspace::new());
-    }
+    // to the serial loop. Workers draw reusable arenas from a shared pool
+    // (the same abstraction the `mkss-serve` daemon sessions use).
+    let pool = WorkspacePool::new();
     let watch = Stopwatch::start();
     let rows = mkss_core::par::map_indexed(jobs, &PolicyKind::ALL, |index, &kind| {
         let Ok(mut policy) = kind.build(&ts, &BuildOptions::default()) else {
@@ -406,11 +408,11 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         };
         let recorder =
             (!recorders.is_empty()).then(|| Arc::clone(&recorders[index % recorders.len()]));
-        let report = WORKSPACE.with(|ws| {
-            let mut ws = ws.borrow_mut();
+        let report = {
+            let mut ws = pool.checkout();
             ws.set_recorder(recorder);
             simulate_in(&mut ws, &ts, policy.as_mut(), &config)
-        });
+        };
         Some((
             report.total_energy().units(),
             report.active_energy().units(),
@@ -454,16 +456,75 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         ));
     }
     if let (Some(path), Some(registry)) = (&metrics_out, &registry) {
-        let mut doc = MetricsDoc::new(registry.snapshot());
-        doc.push_meta("binary", "mkss-cli compare");
-        doc.push_meta("policies", PolicyKind::ALL.len().to_string());
-        doc.push_meta("jobs", mkss_core::par::effective_jobs(jobs).to_string());
-        doc.push_stage("simulate_ms", simulate_ms);
+        let doc = mkss_obs::metrics_doc(
+            "mkss-cli compare",
+            registry.snapshot(),
+            &[
+                ("policies", PolicyKind::ALL.len().to_string()),
+                ("jobs", mkss_core::par::effective_jobs(jobs).to_string()),
+            ],
+            &[("simulate_ms", simulate_ms)],
+        );
         std::fs::write(path, doc.to_json())?;
         out.push_str(&format!("wrote metrics to {path}\n"));
     }
     if let (Some(registry), Some(reporter)) = (&registry, &reporter) {
         report_summary_table(reporter, registry);
+    }
+    Ok(out)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut config = mkss_serve::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Input(format!("flag {flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value()?),
+            "--tcp" => tcp = Some(value()?),
+            "--workers" => {
+                config.workers = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--workers: {e}")))?;
+            }
+            "--queue" => {
+                config.queue_capacity = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--queue: {e}")))?;
+            }
+            "--fanout" => {
+                config.fanout = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--fanout: {e}")))?;
+            }
+            other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
+        }
+    }
+    let server = match (&socket, &tcp) {
+        (Some(path), None) => mkss_serve::Server::bind_unix(path, config)?,
+        (None, Some(addr)) => mkss_serve::Server::bind_tcp(addr, config)?,
+        _ => {
+            return Err(CliError::Input(
+                "serve expects exactly one of --socket PATH or --tcp ADDR".into(),
+            ))
+        }
+    };
+    let endpoint = server.endpoint();
+    // Readiness goes to stderr so scripts can poll for it without
+    // touching the (blocked-until-shutdown) stdout text.
+    let reporter = Reporter::stderr();
+    reporter.line(&format!("mkss-serve listening on {endpoint}"));
+    let totals = server.run();
+    let mut out = format!("daemon on {endpoint} shut down cleanly\n");
+    for line in MetricsDoc::new(totals).render_table().lines() {
+        out.push_str(line);
+        out.push('\n');
     }
     Ok(out)
 }

@@ -51,11 +51,20 @@ pub enum CounterId {
     /// against a zero-length step (which would spin a release build
     /// forever) by flagging the stall and ending the run instead.
     EngineStalls,
+    /// Requests accepted by the `mkss-serve` daemon (scheduled onto the
+    /// worker pool; includes requests that later fail during execution).
+    ServeRequests,
+    /// Requests shed by the daemon's backpressure: the bounded job queue
+    /// was full, the client got an `overloaded` error.
+    ServeRejected,
+    /// Request lines the daemon could not parse (malformed JSON, unknown
+    /// op, oversized line).
+    ServeProtocolErrors,
 }
 
 impl CounterId {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// Every counter, in storage/export order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -78,6 +87,9 @@ impl CounterId {
         CounterId::JobsMissed,
         CounterId::MkViolations,
         CounterId::EngineStalls,
+        CounterId::ServeRequests,
+        CounterId::ServeRejected,
+        CounterId::ServeProtocolErrors,
     ];
 
     /// Storage index of this counter (its position in [`CounterId::ALL`]).
@@ -108,6 +120,9 @@ impl CounterId {
             CounterId::JobsMissed => "jobs_missed",
             CounterId::MkViolations => "mk_violations",
             CounterId::EngineStalls => "engine_stalls",
+            CounterId::ServeRequests => "serve_requests",
+            CounterId::ServeRejected => "serve_rejected",
+            CounterId::ServeProtocolErrors => "serve_protocol_errors",
         }
     }
 }
@@ -128,18 +143,24 @@ pub enum HistogramId {
     /// Backup release postponement θ in whole milliseconds (rounded up),
     /// observed once per postponed backup.
     BackupDelayMs,
+    /// `mkss-serve` job-queue depth observed at each accepted submit
+    /// (after the enqueue) — the daemon's backpressure signal.
+    ServeQueueDepth,
 }
 
 impl HistogramId {
     /// Number of histograms in the catalog.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Cells per histogram: the bounded buckets plus one overflow bucket.
     pub const BUCKETS: usize = 8;
 
     /// Every histogram, in storage/export order.
-    pub const ALL: [HistogramId; Self::COUNT] =
-        [HistogramId::MkDistance, HistogramId::BackupDelayMs];
+    pub const ALL: [HistogramId; Self::COUNT] = [
+        HistogramId::MkDistance,
+        HistogramId::BackupDelayMs,
+        HistogramId::ServeQueueDepth,
+    ];
 
     /// Storage index of this histogram (its position in [`HistogramId::ALL`]).
     #[inline]
@@ -152,6 +173,7 @@ impl HistogramId {
         match self {
             HistogramId::MkDistance => "mk_distance",
             HistogramId::BackupDelayMs => "backup_delay_ms",
+            HistogramId::ServeQueueDepth => "serve_queue_depth",
         }
     }
 
@@ -161,6 +183,7 @@ impl HistogramId {
         match self {
             HistogramId::MkDistance => &[0, 1, 2, 3, 4, 6, 8],
             HistogramId::BackupDelayMs => &[0, 1, 2, 4, 8, 16, 32],
+            HistogramId::ServeQueueDepth => &[0, 1, 2, 4, 8, 16, 32],
         }
     }
 

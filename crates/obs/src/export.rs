@@ -95,6 +95,55 @@ impl MetricsDoc {
         out
     }
 
+    /// Serialize as a compact single-line JSON object — same fixed keys
+    /// and ordering as [`MetricsDoc::to_json`], no whitespace. This is
+    /// the wire form used by the `mkss-serve` line protocol, where a
+    /// document must fit one response line.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"meta\":{");
+        for (i, (key, value)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, key);
+            out.push(':');
+            push_json_string(&mut out, value);
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, value)) in self.snapshot.iter_counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, &h) in HistogramId::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, h.name());
+            out.push_str(":{\"bounds\":");
+            push_compact_u64_array(&mut out, h.bounds());
+            out.push_str(",\"counts\":");
+            push_compact_u64_array(&mut out, self.snapshot.histogram(h));
+            out.push('}');
+        }
+        out.push_str("},\"stages\":{");
+        for (i, (name, ms)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            push_json_f64(&mut out, *ms);
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Render as an aligned human-readable table.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -131,6 +180,42 @@ impl MetricsDoc {
         }
         out
     }
+}
+
+/// Build the standard metrics document every `mkss` binary emits, in one
+/// place: the `binary` identity first, then caller metadata in order,
+/// then the snapshot and stage timings.
+///
+/// Before this entry point existed each binary hand-assembled its
+/// `MetricsDoc` (same keys, different code); unifying the assembly keeps
+/// `scripts/ci.sh`'s schema validation honest — there is exactly one
+/// producer shape to validate.
+pub fn metrics_doc(
+    binary: &str,
+    snapshot: MetricsSnapshot,
+    meta: &[(&str, String)],
+    stages: &[(&str, f64)],
+) -> MetricsDoc {
+    let mut doc = MetricsDoc::new(snapshot);
+    doc.push_meta("binary", binary);
+    for (key, value) in meta {
+        doc.push_meta(key, value.clone());
+    }
+    for (name, ms) in stages {
+        doc.push_stage(name, *ms);
+    }
+    doc
+}
+
+fn push_compact_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
 }
 
 fn push_sep(out: &mut String, index: usize, indent: &str) {
@@ -241,6 +326,42 @@ mod tests {
         assert!(json.contains("\"meta\": {}"), "{json}");
         assert!(json.contains("\"stages\": {}"), "{json}");
         assert!(json.contains("\"jobs_released\": 0"), "{json}");
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_compact() {
+        let line = sample_doc().to_json_line();
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with("{\"meta\":{"), "{line}");
+        assert!(line.contains("\"jobs_released\":10"), "{line}");
+        assert!(line.contains("\"simulate_ms\":12.500"), "{line}");
+        assert!(line.ends_with("}}"), "{line}");
+    }
+
+    #[test]
+    fn json_line_matches_pretty_json_modulo_whitespace() {
+        let doc = sample_doc();
+        let pretty: String = doc.to_json().split_whitespace().collect();
+        // The pretty writer puts ", " inside arrays and ": " after keys;
+        // stripping all whitespace makes the two renderings identical.
+        assert_eq!(pretty, doc.to_json_line());
+    }
+
+    #[test]
+    fn metrics_doc_entry_point_orders_meta_and_stages() {
+        let doc = metrics_doc(
+            "bench_fig6",
+            MetricsSnapshot::empty(),
+            &[("seed", "42".to_string()), ("policy", "all".to_string())],
+            &[("simulate_ms", 1.5), ("total_ms", 2.0)],
+        );
+        let json = doc.to_json();
+        let binary_at = json.find("\"binary\": \"bench_fig6\"").expect("binary key");
+        let seed_at = json.find("\"seed\": \"42\"").expect("seed key");
+        let policy_at = json.find("\"policy\": \"all\"").expect("policy key");
+        assert!(binary_at < seed_at && seed_at < policy_at, "{json}");
+        assert!(json.contains("\"simulate_ms\": 1.500"), "{json}");
+        assert!(json.contains("\"total_ms\": 2.000"), "{json}");
     }
 
     #[test]

@@ -38,9 +38,9 @@ mod reporter;
 mod span;
 
 pub use event::{CounterId, HistogramId};
-pub use export::MetricsDoc;
+pub use export::{metrics_doc, MetricsDoc};
 pub use log::{LogLevel, ParseLogLevelError, LOG_ENV_VAR};
-pub use recorder::{EchoRecorder, NoopRecorder, Recorder};
+pub use recorder::{EchoRecorder, NoopRecorder, Recorder, RequestId, ScopedRecorder};
 pub use registry::{MetricsSnapshot, RecorderHandle, Registry};
 pub use reporter::Reporter;
 pub use span::Stopwatch;

@@ -43,6 +43,84 @@ impl Recorder for NoopRecorder {
     fn observe(&self, _histogram: HistogramId, _value: u64) {}
 }
 
+/// Identifier of one request served by a long-running process, used to
+/// scope recorded events to the request that caused them.
+///
+/// The id itself is an opaque sequence number minted by the server (not
+/// the client-supplied correlation id, which is echoed in the protocol
+/// instead); its only job is to name the scope in logs and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// A recorder that scopes events to one request: every event is written
+/// to a request-local sink (typically a single-shard [`Registry`] whose
+/// snapshot becomes the response's per-request metrics) **and** forwarded
+/// to an optional process-global sink.
+///
+/// Because the same event lands in both sinks, per-request snapshots sum
+/// exactly to the global totals — the separability invariant the
+/// `mkss-serve` loadgen differential asserts. Like every recorder, it is
+/// oblivious: responses are byte-identical whether the global tee is
+/// attached or not.
+pub struct ScopedRecorder {
+    request: RequestId,
+    local: Arc<dyn Recorder>,
+    global: Option<Arc<dyn Recorder>>,
+}
+
+impl ScopedRecorder {
+    /// Scope `local` to `request`, teeing every event into `global` too.
+    pub fn new(
+        request: RequestId,
+        local: Arc<dyn Recorder>,
+        global: Option<Arc<dyn Recorder>>,
+    ) -> ScopedRecorder {
+        ScopedRecorder {
+            request,
+            local,
+            global,
+        }
+    }
+
+    /// The request this recorder is scoped to.
+    pub fn request(&self) -> RequestId {
+        self.request
+    }
+}
+
+impl std::fmt::Debug for ScopedRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedRecorder")
+            .field("request", &self.request)
+            .field("global", &self.global.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder for ScopedRecorder {
+    #[inline]
+    fn incr(&self, counter: CounterId, by: u64) {
+        self.local.incr(counter, by);
+        if let Some(global) = &self.global {
+            global.incr(counter, by);
+        }
+    }
+
+    #[inline]
+    fn observe(&self, histogram: HistogramId, value: u64) {
+        self.local.observe(histogram, value);
+        if let Some(global) = &self.global {
+            global.observe(histogram, value);
+        }
+    }
+}
+
 /// A recorder that aggregates into a registry shard *and* narrates each
 /// counter event as a line on a [`Reporter`] — the `MKSS_LOG=events`
 /// backend. Strictly a debugging aid: it is far too chatty for the bench
@@ -85,6 +163,34 @@ mod tests {
         r.count(CounterId::JobsReleased);
         r.incr(CounterId::JobsMet, 7);
         r.observe(HistogramId::MkDistance, 3);
+    }
+
+    #[test]
+    fn scoped_recorder_tees_into_both_sinks() {
+        let local = Arc::new(Registry::new(1));
+        let global = Arc::new(Registry::new(1));
+        let scoped = ScopedRecorder::new(
+            RequestId(7),
+            Arc::new(local.handle_at(0)),
+            Some(Arc::new(global.handle_at(0))),
+        );
+        scoped.incr(CounterId::JobsMet, 4);
+        scoped.observe(HistogramId::MkDistance, 2);
+        assert_eq!(scoped.request(), RequestId(7));
+        assert_eq!(scoped.request().to_string(), "req-7");
+        for registry in [&local, &global] {
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter(CounterId::JobsMet), 4);
+            assert_eq!(snap.histogram(HistogramId::MkDistance)[2], 1);
+        }
+    }
+
+    #[test]
+    fn scoped_recorder_without_global_only_writes_locally() {
+        let local = Arc::new(Registry::new(1));
+        let scoped = ScopedRecorder::new(RequestId(0), Arc::new(local.handle_at(0)), None);
+        scoped.count(CounterId::ServeRequests);
+        assert_eq!(local.snapshot().counter(CounterId::ServeRequests), 1);
     }
 
     #[test]

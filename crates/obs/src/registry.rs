@@ -157,6 +157,31 @@ impl MetricsSnapshot {
             && self.histograms.iter().all(|h| h.iter().all(|&v| v == 0))
     }
 
+    /// The change since `earlier`: cell-by-cell saturating difference.
+    ///
+    /// This is what makes a live [`Registry`] *separable mid-run*: take a
+    /// snapshot before a unit of work and one after, and the delta is that
+    /// unit's contribution even though the registry keeps accumulating.
+    /// Counters are monotonic, so with a genuinely earlier snapshot the
+    /// subtraction never saturates; saturating keeps a misordered pair
+    /// from panicking in release telemetry paths.
+    ///
+    /// Deltas recompose: for back-to-back snapshots `a ≤ b ≤ c`,
+    /// `b.delta(&a)` merged with `c.delta(&b)` equals `c.delta(&a)`.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (cell, before) in out.counters.iter_mut().zip(earlier.counters.iter()) {
+            *cell = cell.saturating_sub(*before);
+        }
+        for (cells, befores) in out.histograms.iter_mut().zip(earlier.histograms.iter()) {
+            for (cell, before) in cells.iter_mut().zip(befores.iter()) {
+                *cell = cell.saturating_sub(*before);
+            }
+        }
+        out
+    }
+
     /// Add another snapshot cell-by-cell (merging independent registries).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
@@ -232,6 +257,49 @@ mod tests {
         a.count(CounterId::JobsMet);
         b.count(CounterId::JobsMet);
         assert_eq!(registry.snapshot().counter(CounterId::JobsMet), 2);
+    }
+
+    #[test]
+    fn delta_isolates_the_span_between_snapshots() {
+        let registry = Arc::new(Registry::new(2));
+        let h = registry.handle_at(0);
+        h.incr(CounterId::JobsReleased, 5);
+        h.observe(HistogramId::MkDistance, 1);
+        let before = registry.snapshot();
+        h.incr(CounterId::JobsReleased, 3);
+        h.incr(CounterId::JobsMet, 2);
+        h.observe(HistogramId::MkDistance, 1);
+        let after = registry.snapshot();
+        let delta = after.delta(&before);
+        assert_eq!(delta.counter(CounterId::JobsReleased), 3);
+        assert_eq!(delta.counter(CounterId::JobsMet), 2);
+        assert_eq!(delta.histogram(HistogramId::MkDistance)[1], 1);
+        // Unchanged cells are zero in the delta.
+        assert_eq!(delta.counter(CounterId::BackupsCanceled), 0);
+    }
+
+    #[test]
+    fn deltas_recompose_to_the_full_span() {
+        let registry = Arc::new(Registry::new(1));
+        let h = registry.handle_at(0);
+        let a = registry.snapshot();
+        h.incr(CounterId::JobsMet, 1);
+        let b = registry.snapshot();
+        h.incr(CounterId::JobsMet, 4);
+        h.observe(HistogramId::BackupDelayMs, 2);
+        let c = registry.snapshot();
+        let mut recomposed = b.delta(&a);
+        recomposed.merge(&c.delta(&b));
+        assert_eq!(recomposed, c.delta(&a));
+    }
+
+    #[test]
+    fn delta_of_misordered_snapshots_saturates_instead_of_panicking() {
+        let registry = Arc::new(Registry::new(1));
+        registry.handle_at(0).incr(CounterId::JobsMet, 7);
+        let later = registry.snapshot();
+        let delta = MetricsSnapshot::empty().delta(&later);
+        assert!(delta.is_zero());
     }
 
     #[test]

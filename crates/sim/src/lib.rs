@@ -44,6 +44,7 @@ pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod policy;
+pub mod pool;
 pub mod power;
 pub mod proc;
 pub mod report;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::engine::{simulate, simulate_in, SimConfig, SimConfigBuilder, SimWorkspace};
     pub use crate::fault::{FaultConfig, PermanentFault, TransientSampler};
     pub use crate::policy::{Policy, ReleaseCtx, ReleaseDecision};
+    pub use crate::pool::{PooledWorkspace, WorkspacePool};
     pub use crate::power::{Energy, EnergyBreakdown, PowerModel};
     pub use crate::proc::ProcId;
     pub use crate::report::{JobStats, MkViolation, SimReport};

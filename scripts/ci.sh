@@ -27,7 +27,7 @@ echo "bad-file smoke ok (nonzero exit as expected)"
 echo "== clippy (deny warnings, whole workspace) =="
 cargo clippy -p mkss-core -p mkss-workload -p mkss-obs -p mkss-bench \
     -p mkss-cli -p mkss-sim -p mkss-policies -p mkss-analysis \
-    -p mkss-lint -p mkss --all-targets -- -D warnings
+    -p mkss-serve -p mkss-lint -p mkss --all-targets -- -D warnings
 
 echo "== tier-1: build + tests =="
 cargo build --release
@@ -60,6 +60,37 @@ for key in ("jobs_released", "backups_canceled", "backups_postponed",
 assert doc["counters"]["jobs_released"] > 0, "compare smoke released no jobs"
 print("metrics document ok:", ", ".join(sorted(doc)))
 PY
+
+echo "== serve smoke (daemon end-to-end: loadgen differential + clean shutdown) =="
+# Start the daemon, drive it with concurrent clients re-deriving every
+# response in-process (--differential fails on any byte mismatch), ask it
+# to drain, and require a clean exit.
+serve_sock="$tmpdir/serve.sock"
+cargo run --release -q -p mkss-cli -- serve --socket "$serve_sock" \
+    > "$tmpdir/serve-stdout.txt" 2> "$tmpdir/serve-stderr.txt" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.1
+done
+if [ ! -S "$serve_sock" ]; then
+    echo "ERROR: daemon socket $serve_sock never appeared" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run --release -q -p mkss-bench --bin loadgen -- \
+    --socket "$serve_sock" --clients 4 --requests 16 --differential --shutdown
+wait "$serve_pid"
+grep -q "shut down cleanly" "$tmpdir/serve-stdout.txt" || {
+    echo "ERROR: daemon did not report a clean shutdown" >&2
+    cat "$tmpdir/serve-stdout.txt" "$tmpdir/serve-stderr.txt" >&2
+    exit 1
+}
+grep -q "serve_requests" "$tmpdir/serve-stdout.txt" || {
+    echo "ERROR: daemon totals table missing serve counters" >&2
+    exit 1
+}
+echo "serve smoke ok (64 differential responses, clean drain)"
 
 echo "== sim_bench drift check (hard gate) =="
 # A >25% drop below the tracked BENCH_sim.json baseline fails CI. Both

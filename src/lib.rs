@@ -13,6 +13,7 @@
 //! | [`policies`] | `mkss-policies` | `MKSS_ST`, `MKSS_DP`, `MKSS_selective`, greedy + ablation variants |
 //! | [`workload`] | `mkss-workload` | the Section-V random task-set generator |
 //! | [`obs`] | `mkss-obs` | zero-dep observability: engine-event recorders, counter/histogram registry, metrics export |
+//! | [`serve`] | `mkss-serve` | session-pooled simulation daemon: line-JSON protocol over Unix/TCP sockets, bounded worker pool, per-request metrics |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use mkss_analysis as analysis;
 pub use mkss_core as core;
 pub use mkss_obs as obs;
 pub use mkss_policies as policies;
+pub use mkss_serve as serve;
 pub use mkss_sim as sim;
 pub use mkss_workload as workload;
 
