@@ -9,6 +9,9 @@
 //!                   [--gantt] [--vcd out.vcd] [--active-only]
 //! mkss-cli generate --util 0.45 --seed 7 [--tasks 5..10]
 //! mkss-cli policies
+//! mkss-cli serve   --socket /tmp/mkss.sock
+//! mkss-cli top     --socket /tmp/mkss.sock [--interval-ms 500] [--frames N]
+//! mkss-cli metrics --socket /tmp/mkss.sock [--json]
 //! ```
 //!
 //! The command logic lives in [`run`] (returning the full stdout text) so
@@ -22,6 +25,7 @@ pub mod format;
 
 use std::error::Error as StdError;
 use std::fmt;
+use std::io::IsTerminal;
 
 use std::sync::Arc;
 
@@ -38,6 +42,7 @@ use mkss_sim::pool::WorkspacePool;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
 use mkss_sim::vcd::render_vcd;
+use mkss_top::{Target, TopConfig};
 use mkss_workload::{Generator, WorkloadConfig};
 
 use format::TaskSetSpec;
@@ -91,6 +96,13 @@ commands:
   policies                                     list available policies
   serve    (--socket PATH | --tcp ADDR) [--workers N] [--queue N] [--fanout N]
            run the line-protocol simulation daemon until a shutdown request
+  top      (--socket PATH | --tcp ADDR) [--interval-ms N] [--frames N]
+           [--plain] [--poll]
+           live dashboard over the daemon's streaming watch op (falls back
+           to polling the metrics op with --poll); auto-plain when stdout
+           is not a terminal
+  metrics  (--socket PATH | --tcp ADDR) [--json]
+           fetch the daemon's metrics document once and pretty-print it
 
 environment:
   MKSS_LOG=off|summary|events  attach an engine-event recorder to simulate
@@ -115,6 +127,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(&args[1..]),
         "policies" => Ok(cmd_policies()),
         "serve" => cmd_serve(&args[1..]),
+        "top" => cmd_top(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Input(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -529,6 +543,116 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Folds the mutually exclusive `--socket` / `--tcp` flags into a
+/// dashboard [`Target`], mirroring `serve`'s endpoint selection.
+fn parse_target(socket: Option<String>, tcp: Option<String>) -> Result<Target, CliError> {
+    match (socket, tcp) {
+        (Some(path), None) => Ok(Target::Unix(path.into())),
+        (None, Some(addr)) => Ok(Target::Tcp(addr)),
+        _ => Err(CliError::Input(
+            "expected exactly one of --socket PATH or --tcp ADDR".into(),
+        )),
+    }
+}
+
+fn cmd_top(args: &[String]) -> Result<String, CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut interval_ms = 500u64;
+    let mut frames = 0u64;
+    let mut plain = false;
+    let mut poll = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Input(format!("flag {flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value()?),
+            "--tcp" => tcp = Some(value()?),
+            "--interval-ms" => {
+                interval_ms = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--interval-ms: {e}")))?;
+            }
+            "--frames" => {
+                frames = value()?
+                    .parse()
+                    .map_err(|e| CliError::Input(format!("--frames: {e}")))?;
+            }
+            "--plain" => plain = true,
+            "--poll" => poll = true,
+            other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
+        }
+    }
+    let config = TopConfig {
+        interval_ms,
+        frames,
+        // ANSI clears would garble a pipe or a capture file; screen
+        // control only makes sense on an actual terminal.
+        plain: plain || !std::io::stdout().is_terminal(),
+        poll,
+        ..TopConfig::new(parse_target(socket, tcp)?)
+    };
+    let mut stdout = std::io::stdout().lock();
+    let summary = mkss_top::run_top(&config, &mut stdout)?;
+    drop(stdout);
+    Ok(format!(
+        "watched {} frames from {} ({} restarts)\n",
+        summary.frames, summary.endpoint, summary.restarts
+    ))
+}
+
+fn cmd_metrics(args: &[String]) -> Result<String, CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Input(format!("flag {flag} expects a value")))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value()?),
+            "--tcp" => tcp = Some(value()?),
+            "--json" => json = true,
+            other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
+        }
+    }
+    let mut client = match parse_target(socket, tcp)? {
+        Target::Unix(path) => mkss_serve::Client::connect_unix(path)?,
+        Target::Tcp(addr) => mkss_serve::Client::connect_tcp(&addr)?,
+    };
+    let line = client.request(r#"{"id":1,"op":"metrics"}"#)?;
+    match mkss_top::parse_response_line(&line) {
+        Ok(mkss_top::ResponseLine::Frame(sample)) => {
+            if json {
+                // The raw result document, one line — the scriptable form.
+                let start = line.find("\"result\":").map(|i| i + "\"result\":".len());
+                let body = start
+                    .and_then(|s| line.get(s..line.len().saturating_sub(1)))
+                    .unwrap_or(&line);
+                Ok(format!("{body}\n"))
+            } else {
+                Ok(mkss_top::render_plain(&mkss_top::Frame::build(
+                    None, &sample,
+                )))
+            }
+        }
+        Ok(mkss_top::ResponseLine::Error { message }) => {
+            Err(CliError::Input(format!("daemon error: {message}")))
+        }
+        Ok(mkss_top::ResponseLine::WatchDone { .. }) => Err(CliError::Input(
+            "unexpected watch_done response to a metrics request".into(),
+        )),
+        Err(e) => Err(CliError::Input(format!("bad metrics response: {e}"))),
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
     let mut util = 0.5f64;
     let mut seed = 0u64;
@@ -788,6 +912,53 @@ mod tests {
         // Counters commute across workers, so only timing (and the jobs
         // meta entry) may differ between worker counts.
         assert_eq!(documents[0], documents[1]);
+    }
+
+    #[test]
+    fn top_streams_and_metrics_pretty_prints() {
+        let sock =
+            std::env::temp_dir().join(format!("mkss-cli-top-test-{}.sock", std::process::id()));
+        let server =
+            mkss_serve::Server::bind_unix(&sock, mkss_serve::ServerConfig::default()).unwrap();
+        let sock_arg = sock.to_str().unwrap();
+
+        let out = run(&args(&[
+            "top",
+            "--socket",
+            sock_arg,
+            "--interval-ms",
+            "10",
+            "--frames",
+            "2",
+            "--plain",
+        ]))
+        .unwrap();
+        assert_eq!(out, "watched 2 frames from daemon (0 restarts)\n");
+
+        let pretty = run(&args(&["metrics", "--socket", sock_arg])).unwrap();
+        assert!(
+            pretty.contains("mkss-top · mkss-serve @ daemon"),
+            "{pretty}"
+        );
+        assert!(pretty.contains("serve_watches"), "{pretty}");
+        assert!(!pretty.contains('\x1b'), "metrics output is plain");
+
+        let json = run(&args(&["metrics", "--socket", sock_arg, "--json"])).unwrap();
+        assert!(json.starts_with("{\"meta\":"), "{json}");
+        assert!(json.trim_end().ends_with('}'), "{json}");
+        assert!(json.contains("\"counters\""), "{json}");
+
+        server.shutdown();
+        let _ = std::fs::remove_file(&sock);
+    }
+
+    #[test]
+    fn top_and_metrics_flag_errors() {
+        assert!(run(&args(&["top"])).is_err(), "endpoint is required");
+        assert!(run(&args(&["metrics"])).is_err(), "endpoint is required");
+        assert!(run(&args(&["top", "--socket", "/tmp/x", "--tcp", "y"])).is_err());
+        assert!(run(&args(&["top", "--socket", "/tmp/x", "--frames", "no"])).is_err());
+        assert!(run(&args(&["metrics", "--socket", "/no/such/daemon.sock"])).is_err());
     }
 
     #[test]

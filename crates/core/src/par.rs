@@ -144,6 +144,7 @@ struct PoolShared {
     state: Mutex<PoolState>,
     work_ready: Condvar,
     capacity: usize,
+    busy: AtomicUsize,
 }
 
 impl PoolShared {
@@ -207,6 +208,7 @@ impl WorkerPool {
             }),
             work_ready: Condvar::new(),
             capacity,
+            busy: AtomicUsize::new(0),
         });
         let handles = (0..worker_count)
             .map(|_| {
@@ -230,6 +232,13 @@ impl WorkerPool {
     /// telemetry, never for results.
     pub fn queue_depth(&self) -> usize {
         self.shared.lock().queue.len()
+    }
+
+    /// Workers currently running a job. Like [`WorkerPool::queue_depth`]
+    /// this is a scheduling-dependent instantaneous reading — it feeds
+    /// utilization telemetry (`mkss-top`'s pool gauge), never results.
+    pub fn busy_count(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
     }
 
     /// Enqueues `job` without blocking.
@@ -317,7 +326,11 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                shared.busy.fetch_add(1, Ordering::Relaxed);
+                job();
+                shared.busy.fetch_sub(1, Ordering::Relaxed);
+            }
             None => return,
         }
     }
@@ -453,6 +466,24 @@ mod tests {
         pool.shutdown();
         opener.join().expect("opener finishes");
         assert_eq!(done.load(Ordering::Relaxed), 10, "queued jobs were lost");
+    }
+
+    #[test]
+    fn busy_count_tracks_running_jobs() {
+        use std::sync::mpsc;
+        let pool = WorkerPool::new(2, 8);
+        assert_eq!(pool.busy_count(), 0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).expect("test alive");
+            gate_rx.recv().expect("gate opens");
+        }))
+        .expect("fits");
+        started_rx.recv().expect("worker picked up the job");
+        assert_eq!(pool.busy_count(), 1);
+        gate_tx.send(()).expect("worker waiting");
+        pool.shutdown();
     }
 
     #[test]

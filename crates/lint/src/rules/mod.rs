@@ -149,7 +149,7 @@ impl<'a> FileCtx<'a> {
 /// Path helpers shared by rule scopes. Paths are workspace-relative
 /// with forward slashes.
 pub mod scope {
-    /// The seven library crates covered by `no-unwrap-in-lib`.
+    /// The eight library crates covered by `no-unwrap-in-lib`.
     pub const LIB_CRATES: &[&str] = &[
         "crates/core/src/",
         "crates/workload/src/",
@@ -158,6 +158,7 @@ pub mod scope {
         "crates/sim/src/",
         "crates/obs/src/",
         "crates/serve/src/",
+        "crates/top/src/",
     ];
 
     pub fn in_lib_crate(path: &str) -> bool {

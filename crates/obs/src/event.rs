@@ -60,11 +60,19 @@ pub enum CounterId {
     /// Request lines the daemon could not parse (malformed JSON, unknown
     /// op, oversized line).
     ServeProtocolErrors,
+    /// `simulate` requests completed by the daemon's worker pool.
+    ServeOpSimulate,
+    /// `compare` requests completed by the daemon's worker pool.
+    ServeOpCompare,
+    /// `sweep` requests completed by the daemon's worker pool.
+    ServeOpSweep,
+    /// `watch` subscriptions accepted by the daemon (one per session).
+    ServeWatches,
 }
 
 impl CounterId {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 26;
 
     /// Every counter, in storage/export order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -90,6 +98,10 @@ impl CounterId {
         CounterId::ServeRequests,
         CounterId::ServeRejected,
         CounterId::ServeProtocolErrors,
+        CounterId::ServeOpSimulate,
+        CounterId::ServeOpCompare,
+        CounterId::ServeOpSweep,
+        CounterId::ServeWatches,
     ];
 
     /// Storage index of this counter (its position in [`CounterId::ALL`]).
@@ -123,6 +135,10 @@ impl CounterId {
             CounterId::ServeRequests => "serve_requests",
             CounterId::ServeRejected => "serve_rejected",
             CounterId::ServeProtocolErrors => "serve_protocol_errors",
+            CounterId::ServeOpSimulate => "serve_op_simulate",
+            CounterId::ServeOpCompare => "serve_op_compare",
+            CounterId::ServeOpSweep => "serve_op_sweep",
+            CounterId::ServeWatches => "serve_watches",
         }
     }
 }
@@ -146,11 +162,16 @@ pub enum HistogramId {
     /// `mkss-serve` job-queue depth observed at each accepted submit
     /// (after the enqueue) — the daemon's backpressure signal.
     ServeQueueDepth,
+    /// Wall-clock latency of each pooled `mkss-serve` op (simulate,
+    /// compare, sweep) in microseconds, from accept to response write.
+    /// Recorded by the connection layer into the daemon-global registry
+    /// only — never into per-request registries, which stay byte-stable.
+    ServeOpLatencyUs,
 }
 
 impl HistogramId {
     /// Number of histograms in the catalog.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Cells per histogram: the bounded buckets plus one overflow bucket.
     pub const BUCKETS: usize = 8;
@@ -160,6 +181,7 @@ impl HistogramId {
         HistogramId::MkDistance,
         HistogramId::BackupDelayMs,
         HistogramId::ServeQueueDepth,
+        HistogramId::ServeOpLatencyUs,
     ];
 
     /// Storage index of this histogram (its position in [`HistogramId::ALL`]).
@@ -174,6 +196,7 @@ impl HistogramId {
             HistogramId::MkDistance => "mk_distance",
             HistogramId::BackupDelayMs => "backup_delay_ms",
             HistogramId::ServeQueueDepth => "serve_queue_depth",
+            HistogramId::ServeOpLatencyUs => "serve_op_latency_us",
         }
     }
 
@@ -184,6 +207,7 @@ impl HistogramId {
             HistogramId::MkDistance => &[0, 1, 2, 3, 4, 6, 8],
             HistogramId::BackupDelayMs => &[0, 1, 2, 4, 8, 16, 32],
             HistogramId::ServeQueueDepth => &[0, 1, 2, 4, 8, 16, 32],
+            HistogramId::ServeOpLatencyUs => &[50, 100, 250, 500, 1000, 5000, 25000],
         }
     }
 

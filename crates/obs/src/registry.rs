@@ -182,6 +182,38 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Set one counter cell directly. This is for *reconstructing* a
+    /// snapshot from an external source (a parsed `MetricsDoc`, a wire
+    /// frame) — live measurement always goes through a [`Recorder`].
+    pub fn set_counter(&mut self, counter: CounterId, value: u64) {
+        self.counters[counter.index()] = value;
+    }
+
+    /// Set one histogram's bucket cells directly (reconstruction twin of
+    /// [`MetricsSnapshot::set_counter`]).
+    pub fn set_histogram(&mut self, histogram: HistogramId, buckets: [u64; HistogramId::BUCKETS]) {
+        self.histograms[histogram.index()] = buckets;
+    }
+
+    /// True when this snapshot could have evolved from `earlier` by
+    /// monotonic accumulation: every cell is `>=` its earlier value.
+    ///
+    /// Pollers use this for restart detection — a counter "going
+    /// backwards" means the source registry is not the one the baseline
+    /// was taken from (daemon restart, reconnect to a different process),
+    /// so the baseline must be reset rather than differenced.
+    pub fn is_progression_of(&self, earlier: &MetricsSnapshot) -> bool {
+        self.counters
+            .iter()
+            .zip(earlier.counters.iter())
+            .all(|(now, then)| now >= then)
+            && self
+                .histograms
+                .iter()
+                .zip(earlier.histograms.iter())
+                .all(|(now, then)| now.iter().zip(then.iter()).all(|(a, b)| a >= b))
+    }
+
     /// Add another snapshot cell-by-cell (merging independent registries).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
@@ -300,6 +332,45 @@ mod tests {
         let later = registry.snapshot();
         let delta = MetricsSnapshot::empty().delta(&later);
         assert!(delta.is_zero());
+    }
+
+    #[test]
+    fn reconstructed_snapshots_round_trip_through_setters() {
+        let registry = Arc::new(Registry::new(2));
+        let h = registry.handle_at(1);
+        h.incr(CounterId::JobsMet, 9);
+        h.observe(HistogramId::ServeQueueDepth, 3);
+        let live = registry.snapshot();
+        let mut rebuilt = MetricsSnapshot::empty();
+        for c in CounterId::ALL {
+            rebuilt.set_counter(c, live.counter(c));
+        }
+        for hist in HistogramId::ALL {
+            let mut buckets = [0u64; HistogramId::BUCKETS];
+            buckets.copy_from_slice(live.histogram(hist));
+            rebuilt.set_histogram(hist, buckets);
+        }
+        assert_eq!(rebuilt, live);
+    }
+
+    #[test]
+    fn progression_detects_counters_going_backwards() {
+        let registry = Arc::new(Registry::new(1));
+        let h = registry.handle_at(0);
+        h.incr(CounterId::JobsMet, 4);
+        h.observe(HistogramId::MkDistance, 2);
+        let earlier = registry.snapshot();
+        h.incr(CounterId::JobsMet, 1);
+        let later = registry.snapshot();
+        assert!(later.is_progression_of(&earlier));
+        assert!(later.is_progression_of(&later));
+        // A restarted daemon's fresh registry is not a progression of the
+        // old baseline once the old one had any activity.
+        assert!(!MetricsSnapshot::empty().is_progression_of(&earlier));
+        // Histogram cells count too, not just counters.
+        let mut shrunk = later.clone();
+        shrunk.set_histogram(HistogramId::MkDistance, [0; HistogramId::BUCKETS]);
+        assert!(!shrunk.is_progression_of(&earlier));
     }
 
     #[test]

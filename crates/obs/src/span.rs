@@ -25,6 +25,13 @@ impl Stopwatch {
     pub fn elapsed_ms(&self) -> f64 {
         self.start.elapsed().as_secs_f64() * 1e3
     }
+
+    /// Whole microseconds elapsed since [`Stopwatch::start`], saturating
+    /// at `u64::MAX`. Integer-valued so readings can feed histograms
+    /// (e.g. `serve_op_latency_us`) without float rounding drift.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -38,5 +45,14 @@ mod tests {
         let second = watch.elapsed_ms();
         assert!(first >= 0.0);
         assert!(second >= first);
+    }
+
+    #[test]
+    fn microsecond_readings_are_monotonic() {
+        let watch = Stopwatch::start();
+        let first = watch.elapsed_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let second = watch.elapsed_us();
+        assert!(second > first, "{second} <= {first}");
     }
 }

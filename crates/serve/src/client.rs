@@ -57,6 +57,18 @@ impl Client {
     /// Fails on transport errors, on a closed connection, or on an
     /// embedded newline in `line`.
     pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Send one request line without reading a response. Streaming ops
+    /// (`watch`) answer with *many* lines; pair this with repeated
+    /// [`Client::recv`] calls to consume them.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an embedded newline in `line`.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
         if line.contains('\n') {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -66,6 +78,16 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read the next response line from the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, a closed connection, or a malformed
+    /// (oversized / non-UTF-8) response line.
+    pub fn recv(&mut self) -> io::Result<String> {
         match read_line_bounded(&mut self.reader, MAX_RESPONSE_BYTES)? {
             LineRead::Line(resp) => Ok(resp),
             LineRead::Eof => Err(io::Error::new(

@@ -47,13 +47,13 @@ impl std::fmt::Debug for ExecEnv<'_> {
 /// Execute one request, returning the complete response line (no
 /// trailing newline).
 ///
-/// `metrics` and `shutdown` are connection-layer ops — the daemon
-/// answers them from its own state without touching the pool — so this
-/// function answers them with an error.
+/// `metrics`, `shutdown`, and `watch` are connection-layer ops — the
+/// daemon answers them from its own state without touching the pool — so
+/// this function answers them with an error.
 pub fn execute(request: &Request, env: &ExecEnv<'_>) -> String {
     match &request.op {
         Op::Ping => ok_line(request.id, "{\"pong\":true}", None),
-        Op::Metrics | Op::Shutdown => error_line(
+        Op::Metrics | Op::Shutdown | Op::Watch(_) => error_line(
             Some(request.id),
             &format!(
                 "op '{}' is answered by the daemon itself",
@@ -360,7 +360,13 @@ mod tests {
     #[test]
     fn connection_layer_ops_are_rejected_here() {
         let pool = WorkspacePool::new();
-        let resp = run(r#"{"id": 6, "op": "shutdown"}"#, &env(&pool));
-        assert!(resp.contains("\"ok\":false"), "{resp}");
+        for line in [
+            r#"{"id": 6, "op": "shutdown"}"#,
+            r#"{"id": 7, "op": "watch"}"#,
+        ] {
+            let resp = run(line, &env(&pool));
+            assert!(resp.contains("\"ok\":false"), "{resp}");
+            assert!(resp.contains("answered by the daemon"), "{resp}");
+        }
     }
 }

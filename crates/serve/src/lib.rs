@@ -5,7 +5,9 @@
 //! line-delimited JSON requests (`simulate`, `compare`, `sweep`, plus
 //! `ping` / `metrics` / `shutdown`), and get one response line per
 //! request with the simulation result and that request's own metrics
-//! delta.
+//! delta. A streaming `watch` op turns a connection into a live metrics
+//! feed (one document per interval, with daemon identity/uptime meta for
+//! restart detection) — the transport `mkss-top` renders.
 //!
 //! The crate reshapes the workspace's public API around long-lived
 //! serving rather than one-shot binaries:
@@ -66,5 +68,5 @@ mod server;
 
 pub use client::Client;
 pub use exec::{execute, ExecEnv};
-pub use protocol::{Op, ProtocolError, Request};
+pub use protocol::{Op, ProtocolError, Request, WatchJob};
 pub use server::{Server, ServerConfig};

@@ -14,6 +14,7 @@
 //!  "faults": {"transient_per_ms": 1e-5}, "seeds": 32, "seed_from": 100}
 //! {"id": 5, "op": "metrics"}
 //! {"id": 6, "op": "shutdown"}
+//! {"id": 7, "op": "watch", "interval_ms": 250, "frames": 20}
 //! ```
 //!
 //! Every response is also one line: `{"id": ..., "ok": true, "result":
@@ -21,6 +22,14 @@
 //! only for simulation ops), `{"id": ..., "ok": false, "error": "..."}`
 //! on failure. Unknown request members are ignored for forward
 //! compatibility; unknown ops are errors.
+//!
+//! `watch` is the one *streaming* op: the daemon pushes one `ok` line per
+//! sample (the `result` is a full metrics document whose `meta` carries
+//! the daemon identity, a monotonic `seq`, `uptime_ms`, and pool gauges),
+//! every `interval_ms` milliseconds, until `frames` samples have been
+//! sent (`0` = until shutdown or disconnect), then sends a final
+//! `{"watch_done": true, "frames": N}` line and resumes normal
+//! request/response service on the same connection.
 //!
 //! The `task_set` member uses the exact schema of `mkss-cli`'s task-set
 //! files (fractional milliseconds, `deadline_ms` defaulting to the
@@ -64,6 +73,9 @@ pub enum Op {
     Compare(CompareJob),
     /// Seed-range replication of one scenario, fanned across the pool.
     Sweep(SweepJob),
+    /// Streaming metrics subscription (the connection becomes a sampler
+    /// until the subscription ends).
+    Watch(WatchJob),
 }
 
 impl Op {
@@ -76,6 +88,7 @@ impl Op {
             Op::Simulate(_) => "simulate",
             Op::Compare(_) => "compare",
             Op::Sweep(_) => "sweep",
+            Op::Watch(_) => "watch",
         }
     }
 }
@@ -100,6 +113,23 @@ pub struct CompareJob {
     pub policies: Vec<PolicyKind>,
     /// Shared scenario.
     pub config: SimConfig,
+}
+
+/// Fastest sampling interval a `watch` subscription may request.
+pub const MIN_WATCH_INTERVAL_MS: u64 = 10;
+
+/// Slowest sampling interval a `watch` subscription may request.
+pub const MAX_WATCH_INTERVAL_MS: u64 = 10_000;
+
+/// A live metrics subscription: how often to sample, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchJob {
+    /// Milliseconds between pushed samples
+    /// (`MIN_WATCH_INTERVAL_MS..=MAX_WATCH_INTERVAL_MS`; defaults to 100).
+    pub interval_ms: u64,
+    /// Number of samples to push before ending the subscription; `0`
+    /// (the default) streams until shutdown or disconnect.
+    pub frames: u64,
 }
 
 /// Seed-range replication of one `(task set, policy, scenario)` triple.
@@ -163,6 +193,7 @@ impl Request {
             "simulate" => Op::Simulate(parse_sim_job(&doc).map_err(&fail)?),
             "compare" => Op::Compare(parse_compare_job(&doc).map_err(&fail)?),
             "sweep" => Op::Sweep(parse_sweep_job(&doc).map_err(&fail)?),
+            "watch" => Op::Watch(parse_watch_job(&doc).map_err(&fail)?),
             other => return Err(fail(format!("unknown op '{other}'"))),
         };
         Ok(Request { id, op })
@@ -222,6 +253,30 @@ fn parse_sweep_job(doc: &JsonValue) -> Result<SweepJob, String> {
         base: parse_sim_job(doc)?,
         seed_from,
         seeds,
+    })
+}
+
+fn parse_watch_job(doc: &JsonValue) -> Result<WatchJob, String> {
+    let interval_ms = match doc.get("interval_ms") {
+        None => 100,
+        Some(v) => v
+            .as_u64()
+            .ok_or("'interval_ms' must be a non-negative integer")?,
+    };
+    if !(MIN_WATCH_INTERVAL_MS..=MAX_WATCH_INTERVAL_MS).contains(&interval_ms) {
+        return Err(format!(
+            "'interval_ms' must be in {MIN_WATCH_INTERVAL_MS}..={MAX_WATCH_INTERVAL_MS}, got {interval_ms}"
+        ));
+    }
+    let frames = match doc.get("frames") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or("'frames' must be a non-negative integer")?,
+    };
+    Ok(WatchJob {
+        interval_ms,
+        frames,
     })
 }
 
@@ -464,6 +519,46 @@ mod tests {
             let err = Request::parse(&line).unwrap_err();
             assert_eq!(err.id, Some(1), "{bad}: {err}");
             assert!(err.message.contains("seeds"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn watch_defaults_and_bounds() {
+        let Op::Watch(job) = Request::parse(r#"{"id": 1, "op": "watch"}"#).unwrap().op else {
+            panic!("expected watch")
+        };
+        assert_eq!(
+            job,
+            WatchJob {
+                interval_ms: 100,
+                frames: 0
+            }
+        );
+
+        let Op::Watch(job) =
+            Request::parse(r#"{"id": 1, "op": "watch", "interval_ms": 250, "frames": 20}"#)
+                .unwrap()
+                .op
+        else {
+            panic!("expected watch")
+        };
+        assert_eq!(
+            job,
+            WatchJob {
+                interval_ms: 250,
+                frames: 20
+            }
+        );
+
+        for bad in [
+            "\"interval_ms\": 5",
+            "\"interval_ms\": 60000",
+            "\"interval_ms\": 2.5",
+            "\"frames\": -1",
+        ] {
+            let line = format!(r#"{{"id": 1, "op": "watch", {bad}}}"#);
+            let err = Request::parse(&line).unwrap_err();
+            assert_eq!(err.id, Some(1), "{bad}: {err}");
         }
     }
 

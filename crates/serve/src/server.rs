@@ -34,14 +34,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use mkss_core::par::WorkerPool;
-use mkss_obs::{metrics_doc, CounterId, HistogramId, MetricsSnapshot, Recorder, Registry};
+use mkss_obs::{
+    metrics_doc, CounterId, HistogramId, MetricsDoc, MetricsSnapshot, Recorder, Registry, Stopwatch,
+};
 use mkss_sim::prelude::WorkspacePool;
 
 use crate::conn::{read_line_bounded, Conn, LineRead};
 use crate::exec::{execute, ExecEnv};
-use crate::protocol::{error_line, ok_line, Op, Request};
+use crate::protocol::{error_line, ok_line, Op, Request, WatchJob};
 
 /// Tuning knobs for [`Server::bind_unix`] / [`Server::bind_tcp`].
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +98,23 @@ impl ShutdownSignal {
     fn is_requested(&self) -> bool {
         self.requested.load(Ordering::SeqCst)
     }
+
+    /// Park for up to `timeout` or until a shutdown request, whichever
+    /// comes first. Returns whether shutdown has been requested — so a
+    /// `watch` sampler sleeping between frames wakes *immediately* when
+    /// the drain starts instead of stalling it for a full interval.
+    fn wait_requested_for(&self, timeout: Duration) -> bool {
+        let guard = lock(&self.mutex);
+        if self.is_requested() {
+            return true;
+        }
+        let (guard, _timed_out) = match self.condvar.wait_timeout(guard, timeout) {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        drop(guard);
+        self.is_requested()
+    }
 }
 
 /// State shared by the accept loop and every connection handler.
@@ -112,6 +132,12 @@ struct Shared {
     next_conn: AtomicU64,
     /// Handler threads to join at exit.
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Daemon birth time; `uptime_ms` in every published metrics doc.
+    start: Stopwatch,
+    /// Monotonic sequence number stamped on every published metrics doc
+    /// (the `metrics` op and each `watch` frame share one stream), so
+    /// pollers can detect restarts and ignore reordered frames.
+    seq: AtomicU64,
 }
 
 /// Where the server listens.
@@ -168,6 +194,8 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
             handlers: Mutex::new(Vec::new()),
+            start: Stopwatch::start(),
+            seq: AtomicU64::new(0),
         });
         let info = match &endpoint {
             Endpoint::Unix(_, path) => EndpointInfo::Unix(path.clone()),
@@ -400,13 +428,15 @@ fn respond(
             Ok(false)
         }
         Op::Metrics => {
-            let doc = metrics_doc(
-                "mkss-serve",
-                shared.registry.snapshot(),
-                &[("endpoint", "daemon".to_string())],
-                &[],
-            );
+            let doc = daemon_doc(shared, &[]);
             write_response(writer, &ok_line(id, &doc.to_json_line(), None))?;
+            Ok(false)
+        }
+        Op::Watch(job) => {
+            counters.count(CounterId::ServeWatches);
+            let sent = stream_watch(id, job, shared, writer)?;
+            let done = format!("{{\"watch_done\":true,\"frames\":{sent}}}");
+            write_response(writer, &ok_line(id, &done, None))?;
             Ok(false)
         }
         Op::Shutdown => {
@@ -415,6 +445,11 @@ fn respond(
             Ok(true)
         }
         op @ (Op::Simulate(_) | Op::Compare(_) | Op::Sweep(_)) => {
+            let op_counter = match &op {
+                Op::Simulate(_) => CounterId::ServeOpSimulate,
+                Op::Compare(_) => CounterId::ServeOpCompare,
+                _ => CounterId::ServeOpSweep,
+            };
             let request = Request { id, op };
             let (tx, rx) = mpsc::channel::<String>();
             let job = {
@@ -429,16 +464,23 @@ fn respond(
                     let _ = tx.send(execute(&request, &env));
                 })
             };
+            let latency = Stopwatch::start();
             let resp = match shared.jobs.try_submit(job) {
                 Ok(depth) => {
                     counters.count(CounterId::ServeRequests);
                     counters.observe(HistogramId::ServeQueueDepth, depth as u64);
-                    match rx.recv() {
+                    let resp = match rx.recv() {
                         Ok(resp) => resp,
                         // The worker died mid-job (a panicking policy);
                         // tell the client rather than hanging up.
                         Err(_) => error_line(Some(id), "internal error: worker terminated"),
-                    }
+                    };
+                    // Per-op accounting lives in the daemon-global
+                    // registry only; per-request registries inside
+                    // `execute` stay byte-stable for the differential.
+                    counters.observe(HistogramId::ServeOpLatencyUs, latency.elapsed_us());
+                    counters.count(op_counter);
+                    resp
                 }
                 Err(e) => {
                     counters.count(CounterId::ServeRejected);
@@ -447,6 +489,53 @@ fn respond(
             };
             write_response(writer, &resp)?;
             Ok(false)
+        }
+    }
+}
+
+/// The daemon's self-describing metrics document: identity, uptime, the
+/// publication sequence number, and worker-pool gauges, followed by any
+/// caller-supplied entries (watch frames add their frame index), wrapping
+/// the current global snapshot.
+fn daemon_doc(shared: &Shared, extra: &[(&str, String)]) -> MetricsDoc {
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    let mut meta: Vec<(&str, String)> = vec![
+        ("endpoint", "daemon".to_string()),
+        ("seq", seq.to_string()),
+        ("uptime_ms", (shared.start.elapsed_us() / 1000).to_string()),
+        ("workers", shared.jobs.worker_count().to_string()),
+        ("busy_workers", shared.jobs.busy_count().to_string()),
+        ("queue", shared.config.queue_capacity.to_string()),
+        ("queue_depth", shared.jobs.queue_depth().to_string()),
+        ("pid", std::process::id().to_string()),
+    ];
+    meta.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    metrics_doc("mkss-serve", shared.registry.snapshot(), &meta, &[])
+}
+
+/// Push one metrics frame per interval until the subscription's frame
+/// budget is spent, shutdown begins, or the client disconnects (a write
+/// error, propagated). Returns the number of frames pushed.
+fn stream_watch(id: u64, job: WatchJob, shared: &Shared, writer: &mut Conn) -> io::Result<u64> {
+    let mut sent = 0u64;
+    loop {
+        let doc = daemon_doc(
+            shared,
+            &[
+                ("frame", sent.to_string()),
+                ("interval_ms", job.interval_ms.to_string()),
+            ],
+        );
+        write_response(writer, &ok_line(id, &doc.to_json_line(), None))?;
+        sent += 1;
+        if job.frames != 0 && sent >= job.frames {
+            return Ok(sent);
+        }
+        if shared
+            .signal
+            .wait_requested_for(Duration::from_millis(job.interval_ms))
+        {
+            return Ok(sent);
         }
     }
 }

@@ -1,0 +1,270 @@
+//! Frame renderers: plain text (goldens, pipes, `--plain`) and ANSI (a
+//! live terminal). Both are pure functions of a [`Frame`] — every byte,
+//! including bar lengths and rate digits, is determined by the frame,
+//! so renders are testable against golden strings.
+
+use crate::frame::{BucketRow, CounterRow, Frame};
+
+/// ANSI escape prelude for a live refresh: clear screen, cursor home.
+pub const ANSI_CLEAR: &str = "\x1b[2J\x1b[H";
+
+const BOLD: &str = "\x1b[1m";
+const DIM: &str = "\x1b[2m";
+const CYAN: &str = "\x1b[36m";
+const GREEN: &str = "\x1b[32m";
+const YELLOW: &str = "\x1b[33m";
+const RED: &str = "\x1b[31m";
+const RESET: &str = "\x1b[0m";
+
+/// Render the frame as plain text, one section per metrics family.
+pub fn render_plain(frame: &Frame) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(&header_line(frame));
+    out.push('\n');
+    out.push_str(&pool_line(frame));
+    out.push('\n');
+    out.push_str(&ops_line(frame));
+    out.push('\n');
+    out.push_str("counters:\n");
+    for row in &frame.counters {
+        out.push_str(&counter_line(row));
+        out.push('\n');
+    }
+    out.push_str("histograms:\n");
+    for block in &frame.histograms {
+        out.push_str(&format!(
+            "  {} (n={}{})\n",
+            block.name,
+            block.total,
+            match block.delta {
+                Some(d) => format!(", +{d}"),
+                None => String::new(),
+            }
+        ));
+        for bucket in &block.buckets {
+            out.push_str(&bucket_line(bucket, ""));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render the frame for a live ANSI terminal: clear + home, bold header,
+/// colored gauges and bars. Same data, same layout, same widths as
+/// [`render_plain`] — only escape sequences differ.
+pub fn render_ansi(frame: &Frame) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(ANSI_CLEAR);
+    out.push_str(BOLD);
+    out.push_str(&header_line(frame));
+    out.push_str(RESET);
+    out.push('\n');
+    out.push_str(&pool_line_colored(frame));
+    out.push('\n');
+    out.push_str(CYAN);
+    out.push_str(&ops_line(frame));
+    out.push_str(RESET);
+    out.push('\n');
+    out.push_str(BOLD);
+    out.push_str("counters:");
+    out.push_str(RESET);
+    out.push('\n');
+    for row in &frame.counters {
+        if row.delta == Some(0) {
+            // Quiet rows dim out so active ones pop.
+            out.push_str(DIM);
+            out.push_str(&counter_line(row));
+            out.push_str(RESET);
+        } else {
+            out.push_str(&counter_line(row));
+        }
+        out.push('\n');
+    }
+    out.push_str(BOLD);
+    out.push_str("histograms:");
+    out.push_str(RESET);
+    out.push('\n');
+    for block in &frame.histograms {
+        out.push_str(CYAN);
+        out.push_str(&format!(
+            "  {} (n={}{})",
+            block.name,
+            block.total,
+            match block.delta {
+                Some(d) => format!(", +{d}"),
+                None => String::new(),
+            }
+        ));
+        out.push_str(RESET);
+        out.push('\n');
+        for bucket in &block.buckets {
+            out.push_str(&bucket_line(bucket, GREEN));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn header_line(frame: &Frame) -> String {
+    let mut line = format!(
+        "mkss-top · {} @ {} · seq {} · uptime {} ms",
+        frame.meta.binary, frame.meta.endpoint, frame.meta.seq, frame.meta.uptime_ms
+    );
+    if let Some(ms) = frame.elapsed_ms {
+        line.push_str(&format!(" · span {ms} ms"));
+    }
+    if frame.restarted {
+        line.push_str(" · RESTARTED (baseline reset)");
+    }
+    line
+}
+
+fn pool_line(frame: &Frame) -> String {
+    format!(
+        "pool: {}/{} workers busy · queue {}/{}",
+        frame.meta.busy_workers, frame.meta.workers, frame.meta.queue_depth, frame.meta.queue
+    )
+}
+
+fn pool_line_colored(frame: &Frame) -> String {
+    let busy_color = if frame.meta.busy_workers == 0 {
+        GREEN
+    } else if frame.meta.busy_workers < frame.meta.workers {
+        YELLOW
+    } else {
+        RED
+    };
+    let queue_color = if frame.meta.queue_depth == 0 {
+        GREEN
+    } else if frame.meta.queue_depth * 2 < frame.meta.queue {
+        YELLOW
+    } else {
+        RED
+    };
+    format!(
+        "pool: {busy_color}{}/{} workers busy{RESET} · queue {queue_color}{}/{}{RESET}",
+        frame.meta.busy_workers, frame.meta.workers, frame.meta.queue_depth, frame.meta.queue
+    )
+}
+
+fn ops_line(frame: &Frame) -> String {
+    let mut line = String::from("ops/s:");
+    for (i, op) in frame.ops.iter().enumerate() {
+        if i > 0 {
+            line.push_str(" ·");
+        }
+        line.push_str(&format!(" {} {}", op.name, fmt_rate(op.rate)));
+    }
+    line
+}
+
+fn counter_line(row: &CounterRow) -> String {
+    format!(
+        "  {:<24} {:>12} {:>10} {:>10}",
+        row.name,
+        row.total,
+        fmt_delta(row.delta),
+        fmt_rate_suffixed(row.rate)
+    )
+}
+
+fn bucket_line(bucket: &BucketRow, bar_color: &str) -> String {
+    let mut line = format!(
+        "    {:<7} {:>10} {:>8}",
+        bucket.label,
+        bucket.count,
+        fmt_delta(bucket.delta)
+    );
+    // Empty bars leave no trailing whitespace (and no stray escapes).
+    if bucket.bar > 0 {
+        let bar = "#".repeat(bucket.bar);
+        line.push_str("  ");
+        if bar_color.is_empty() {
+            line.push_str(&bar);
+        } else {
+            line.push_str(bar_color);
+            line.push_str(&bar);
+            line.push_str(RESET);
+        }
+    }
+    line
+}
+
+fn fmt_delta(delta: Option<u64>) -> String {
+    match delta {
+        Some(d) => format!("+{d}"),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{r:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_rate_suffixed(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) => format!("{r:.1}/s"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Sample;
+    use mkss_obs::{CounterId, HistogramId, MetricsSnapshot};
+
+    fn sample() -> Sample {
+        let mut snapshot = MetricsSnapshot::empty();
+        snapshot.set_counter(CounterId::JobsMet, 40);
+        snapshot.set_histogram(HistogramId::MkDistance, [4, 2, 0, 0, 0, 0, 0, 1]);
+        let mut s = Sample {
+            snapshot,
+            meta: Default::default(),
+        };
+        s.meta.binary = "mkss-serve".to_string();
+        s.meta.endpoint = "daemon".to_string();
+        s.meta.uptime_ms = 2000;
+        s
+    }
+
+    #[test]
+    fn plain_render_has_all_sections_and_no_escapes() {
+        let text = render_plain(&Frame::build(None, &sample()));
+        assert!(text.contains("mkss-top · mkss-serve @ daemon"), "{text}");
+        assert!(text.contains("counters:"), "{text}");
+        assert!(text.contains("histograms:"), "{text}");
+        assert!(text.contains("jobs_met"), "{text}");
+        assert!(!text.contains('\x1b'), "plain render leaked ANSI escapes");
+    }
+
+    #[test]
+    fn ansi_render_clears_and_colors_but_matches_plain_data() {
+        let frame = Frame::build(None, &sample());
+        let ansi = render_ansi(&frame);
+        assert!(ansi.starts_with(ANSI_CLEAR), "missing clear/home prefix");
+        // Stripped of escape sequences, the ANSI render is the plain one.
+        let stripped = strip_ansi(&ansi);
+        assert_eq!(stripped, render_plain(&frame));
+    }
+
+    fn strip_ansi(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c == '\x1b' {
+                for e in chars.by_ref() {
+                    if e == 'm' || e == 'H' || e == 'J' {
+                        break;
+                    }
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+}

@@ -27,7 +27,7 @@ echo "bad-file smoke ok (nonzero exit as expected)"
 echo "== clippy (deny warnings, whole workspace) =="
 cargo clippy -p mkss-core -p mkss-workload -p mkss-obs -p mkss-bench \
     -p mkss-cli -p mkss-sim -p mkss-policies -p mkss-analysis \
-    -p mkss-serve -p mkss-lint -p mkss --all-targets -- -D warnings
+    -p mkss-serve -p mkss-top -p mkss-lint -p mkss --all-targets -- -D warnings
 
 echo "== tier-1: build + tests =="
 cargo build --release
@@ -91,6 +91,75 @@ grep -q "serve_requests" "$tmpdir/serve-stdout.txt" || {
     exit 1
 }
 echo "serve smoke ok (64 differential responses, clean drain)"
+
+echo "== mkss-top smoke (headless dashboard vs metrics op, hard gate) =="
+# Boot a fresh daemon, hammer it with loadgen, capture a short plain
+# dashboard session, then fetch the metrics op and require the final
+# frame's counter totals to match the daemon's own document
+# counter-for-counter — the live path must not drop or invent events.
+top_sock="$tmpdir/top.sock"
+cargo run --release -q -p mkss-cli -- serve --socket "$top_sock" \
+    > "$tmpdir/top-serve-stdout.txt" 2> "$tmpdir/top-serve-stderr.txt" &
+top_serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$top_sock" ] && break
+    sleep 0.1
+done
+if [ ! -S "$top_sock" ]; then
+    echo "ERROR: daemon socket $top_sock never appeared" >&2
+    kill "$top_serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cargo run --release -q -p mkss-bench --bin loadgen -- \
+    --socket "$top_sock" --clients 4 --requests 8
+cargo run --release -q -p mkss-cli -- top --socket "$top_sock" \
+    --frames 3 --plain --interval-ms 50 > "$tmpdir/top.txt"
+cargo run --release -q -p mkss-cli -- metrics --socket "$top_sock" --json \
+    > "$tmpdir/top-metrics.json"
+python3 - "$tmpdir/top.txt" "$tmpdir/top-metrics.json" <<'PY'
+import json, sys
+frames = open(sys.argv[1]).read()
+doc = json.load(open(sys.argv[2]))
+assert "watched 3 frames from daemon" in frames, frames.splitlines()[-1:]
+# Counter rows of the *final* frame: after the last "counters:" header,
+# up to its "histograms:" header. Columns: name, total, +delta, rate.
+section = frames.rsplit("counters:", 1)[1].split("histograms:", 1)[0]
+totals = {}
+for line in section.strip().splitlines():
+    name, total = line.split()[:2]
+    totals[name] = int(total)
+assert totals, "no counter rows parsed from the final frame"
+daemon = doc["counters"]
+assert set(totals) == set(daemon), (
+    f"counter catalogs diverge: {set(totals) ^ set(daemon)}")
+diverged = {k: (totals[k], daemon[k]) for k in daemon if totals[k] != daemon[k]}
+assert not diverged, f"dashboard diverged from the metrics op: {diverged}"
+assert daemon["serve_op_simulate"] > 0, "loadgen traffic missing from counters"
+assert daemon["serve_watches"] == 1, "the top session should count one watch"
+print(f"dashboard consistent: {len(daemon)} counters, "
+      f"{daemon['serve_requests']} pooled requests")
+PY
+# An unbounded watcher must be closed by the shutdown drain: start one in
+# the background, drain the daemon, and require the watcher to exit too.
+cargo run --release -q -p mkss-cli -- top --socket "$top_sock" \
+    --plain --interval-ms 200 > "$tmpdir/top-unbounded.txt" &
+top_watch_pid=$!
+sleep 1
+cargo run --release -q -p mkss-bench --bin loadgen -- \
+    --socket "$top_sock" --clients 1 --requests 1 --shutdown
+wait "$top_serve_pid"
+wait "$top_watch_pid"
+grep -q "watched .* frames from daemon" "$tmpdir/top-unbounded.txt" || {
+    echo "ERROR: unbounded watcher did not exit cleanly on daemon drain" >&2
+    cat "$tmpdir/top-unbounded.txt" >&2
+    exit 1
+}
+grep -q "shut down cleanly" "$tmpdir/top-serve-stdout.txt" || {
+    echo "ERROR: daemon with an attached watcher did not drain cleanly" >&2
+    cat "$tmpdir/top-serve-stdout.txt" "$tmpdir/top-serve-stderr.txt" >&2
+    exit 1
+}
+echo "mkss-top smoke ok (frame totals match the metrics op, drain closes watchers)"
 
 echo "== sim_bench drift check (hard gate) =="
 # A >25% drop below the tracked BENCH_sim.json baseline fails CI. Both

@@ -14,6 +14,7 @@
 //! | [`workload`] | `mkss-workload` | the Section-V random task-set generator |
 //! | [`obs`] | `mkss-obs` | zero-dep observability: engine-event recorders, counter/histogram registry, metrics export |
 //! | [`serve`] | `mkss-serve` | session-pooled simulation daemon: line-JSON protocol over Unix/TCP sockets, bounded worker pool, per-request metrics |
+//! | [`top`] | `mkss-top` | live terminal dashboard: deterministic frame model over daemon `watch` streams or in-process registries, plain/ANSI renderers |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use mkss_obs as obs;
 pub use mkss_policies as policies;
 pub use mkss_serve as serve;
 pub use mkss_sim as sim;
+pub use mkss_top as top;
 pub use mkss_workload as workload;
 
 /// One-stop import of the most commonly used items from every crate.
