@@ -13,8 +13,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mkss_bench::experiment::{
-    metrics_doc, run_experiment_observed, run_replicated_observed, ExperimentConfig, HarnessObs,
-    RunStats, Scenario, StageTimes,
+    metrics_doc, run_experiment_observed, run_replicated_observed, trace_representative,
+    ExperimentConfig, HarnessObs, RunStats, Scenario, StageTimes,
 };
 use mkss_bench::table;
 use mkss_core::par;
@@ -28,6 +28,7 @@ struct Args {
     json: Option<String>,
     html: Option<String>,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
     progress: bool,
     replications: u32,
     jobs: usize,
@@ -60,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json = None;
     let mut html = None;
     let mut metrics_out = None;
+    let mut trace_out = None;
     let mut progress = false;
     let mut replications = 1u32;
     let mut jobs = 0usize;
@@ -110,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => json = Some(value()?),
             "--html" => html = Some(value()?),
             "--metrics-out" => metrics_out = Some(value()?),
+            "--trace-out" => trace_out = Some(value()?),
             "--progress" => progress = true,
             "--replications" => {
                 replications = value()?
@@ -126,11 +129,13 @@ fn parse_args() -> Result<Args, String> {
                      [--from U] [--to U] [--horizon-ms MS] [--seed S] \
                      [--policies st,dp,selective,...] [--fault-window LO..HI] \
                      [--replications N] [--jobs N] [--json FILE] [--html FILE] \
-                     [--metrics-out FILE] [--progress]\n\
+                     [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
                      --jobs N bounds the worker threads (0 = all cores, the default);\n\
                      results are identical for every value.\n\
                      --metrics-out FILE records engine event counters (backups\n\
                      canceled/postponed, faults, …) and per-stage wall times as JSON.\n\
+                     --trace-out FILE flight-records one representative run per\n\
+                     scenario as Chrome Trace Event JSON (open in Perfetto).\n\
                      --progress streams live per-scenario completion lines on stderr."
                 );
                 std::process::exit(0);
@@ -144,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
         json,
         html,
         metrics_out,
+        trace_out,
         progress,
         replications,
         jobs,
@@ -213,6 +219,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(path) = &args.trace_out {
+        // One representative run per scenario, each on its own track; the
+        // capture is a pure function of the config, so the file is
+        // byte-identical across invocations and `--jobs` values.
+        let buffers: Vec<_> = args
+            .scenarios
+            .iter()
+            .map(|scenario| {
+                let mut config = args.config_template.clone();
+                config.scenario = *scenario;
+                (scenario.id(), trace_representative(&config))
+            })
+            .collect();
+        let runs: Vec<(&str, &mkss_obs::TraceBuffer)> =
+            buffers.iter().map(|(id, b)| (*id, b)).collect();
+        if let Err(e) = std::fs::write(path, mkss_obs::chrome_trace(&runs)) {
+            reporter.line(&format!("error writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        reporter.line(&format!("wrote {path}"));
     }
     if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
         let scenario_ids: Vec<&str> = args.scenarios.iter().map(|s| s.id()).collect();

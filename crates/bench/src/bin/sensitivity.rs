@@ -7,14 +7,15 @@
 //!
 //! ```text
 //! sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N]
-//!             [--metrics-out FILE] [--progress]
+//!             [--metrics-out FILE] [--trace-out FILE] [--progress]
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use mkss_bench::experiment::{
-    metrics_doc, run_experiment_observed, ExperimentConfig, HarnessObs, Scenario, StageTimes,
+    metrics_doc, run_experiment_observed, trace_representative, ExperimentConfig, HarnessObs,
+    Scenario, StageTimes,
 };
 use mkss_core::par;
 use mkss_core::time::Time;
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
     let mut template = base_config();
     let mut jobs = 0usize;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -81,11 +83,14 @@ fn main() -> ExitCode {
                 "--seed" => template.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "--jobs" => jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
                 "--metrics-out" => metrics_out = Some(value()?),
+                "--trace-out" => trace_out = Some(value()?),
                 "--progress" => progress = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: sensitivity [--sets N] [--horizon-ms MS] [--seed S] [--jobs N] \
-                         [--metrics-out FILE] [--progress]"
+                         [--metrics-out FILE] [--trace-out FILE] [--progress]\n\
+                         --trace-out FILE flight-records one representative run per\n\
+                         knob family as Chrome Trace Event JSON (open in Perfetto)."
                     );
                     std::process::exit(0);
                 }
@@ -136,6 +141,29 @@ fn main() -> ExitCode {
         report_line(&cfg, jobs, &format!("λ = {rate}/ms"), &mut obs);
     }
 
+    if let Some(path) = &trace_out {
+        // One representative capture per knob family, each at a mid-range
+        // knob value, on its own track.
+        let mut tbe_cfg = template.clone();
+        tbe_cfg.power.t_be = Time::from_us(1_000);
+        let mut idle_cfg = template.clone();
+        idle_cfg.power.p_idle = 0.1;
+        let mut rate_cfg = template.clone();
+        rate_cfg.scenario = Scenario::Combined;
+        rate_cfg.transient_rate_per_ms = 1e-4;
+        let buffers = [
+            ("t_be=1ms", trace_representative(&tbe_cfg)),
+            ("p_idle=0.1", trace_representative(&idle_cfg)),
+            ("rate=1e-4", trace_representative(&rate_cfg)),
+        ];
+        let runs: Vec<(&str, &mkss_obs::TraceBuffer)> =
+            buffers.iter().map(|(id, b)| (*id, b)).collect();
+        if let Err(e) = std::fs::write(path, mkss_obs::chrome_trace(&runs)) {
+            reporter.line(&format!("error writing {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        reporter.line(&format!("wrote {path}"));
+    }
     if let (Some(path), Some(registry)) = (&metrics_out, &registry) {
         let doc = metrics_doc(
             "sensitivity",

@@ -10,14 +10,14 @@ use std::time::Instant;
 use mkss_core::par;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
-use mkss_obs::{Recorder, Registry, Reporter, Stopwatch};
+use mkss_obs::{Recorder, Registry, Reporter, Stopwatch, TraceBuffer, TraceRecorder};
 use mkss_policies::{BuildOptions, PolicyKind};
 use mkss_sim::engine::{simulate_in, SimConfig};
 use mkss_sim::fault::FaultConfig;
 use mkss_sim::pool::WorkspacePool;
 use mkss_sim::power::PowerModel;
 use mkss_sim::proc::ProcId;
-use mkss_workload::{generate_buckets_jobs, BucketPlan, WorkloadConfig};
+use mkss_workload::{generate_buckets_jobs, BucketPlan, Generator, WorkloadConfig};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -640,6 +640,41 @@ pub fn run_experiment_observed(
     }
 }
 
+/// Captures one representative run of `config` through the flight
+/// recorder: the first schedulable set at the plan's middle utilization,
+/// simulated under the first buildable policy with the set-0 fault plan.
+///
+/// A pure function of the config — repeated calls return buffers with
+/// identical contents — so harness trace exports are deterministic. An
+/// empty buffer is returned when no set can be generated or no policy
+/// applies; exporters render it as an empty track.
+pub fn trace_representative(config: &ExperimentConfig) -> TraceBuffer {
+    let tracer = TraceRecorder::with_capacity(mkss_obs::DEFAULT_TRACE_CAPACITY);
+    let midpoint = (config.plan.from + config.plan.to) / 2.0;
+    let Some(ts) = Generator::new(config.workload, config.seed).schedulable_set(midpoint) else {
+        return tracer.take();
+    };
+    let build_opts = BuildOptions::default();
+    let Some(mut policy) = config
+        .policies
+        .iter()
+        .find_map(|kind| kind.build(&ts, &build_opts).ok())
+    else {
+        return tracer.take();
+    };
+    let sim_config = SimConfig::builder()
+        .horizon(config.horizon)
+        .power(config.power)
+        .faults(config.fault_plan(0))
+        .build();
+    let tracer = Arc::new(tracer);
+    let mut ws = workspace_pool().checkout();
+    ws.set_recorder(Some(Arc::clone(&tracer) as Arc<dyn Recorder>));
+    simulate_in(&mut ws, &ts, policy.as_mut(), &sim_config);
+    drop(ws);
+    tracer.take()
+}
+
 /// Mean-and-spread of one quantity across replications.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Spread {
@@ -934,6 +969,19 @@ mod tests {
         cfg.plan.to = 0.6;
         cfg.horizon = Time::from_ms(400);
         cfg
+    }
+
+    #[test]
+    fn representative_trace_is_deterministic_and_nonempty() {
+        let cfg = quick_config(Scenario::Combined);
+        let first = trace_representative(&cfg);
+        let second = trace_representative(&cfg);
+        assert!(!first.is_empty(), "representative run captured no events");
+        assert_eq!(
+            mkss_obs::timeline_text(&first),
+            mkss_obs::timeline_text(&second),
+            "same config must capture the same stream"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ use mkss_analysis::rta::{analyze, InterferenceModel};
 use mkss_core::mk::Pattern;
 use mkss_core::task::TaskSet;
 use mkss_core::time::Time;
-use mkss_obs::{EchoRecorder, LogLevel, MetricsDoc, Recorder, Registry, Reporter, Stopwatch};
+use mkss_obs::{
+    chrome_trace, violation_reports, EchoRecorder, LogLevel, MetricsDoc, Recorder, Registry,
+    Reporter, Stopwatch, TraceRecorder, DEFAULT_TRACE_CAPACITY,
+};
 use mkss_policies::{BuildOptions, PolicyKind};
 use mkss_sim::engine::{simulate_in, SimConfig, SimWorkspace};
 use mkss_sim::fault::FaultConfig;
@@ -91,7 +94,10 @@ commands:
            [--permanent primary@MS|spare@MS] [--transient RATE_PER_MS]
            [--gantt] [--vcd FILE] [--active-only]
   compare  <taskset.json> [--horizon-ms N] [--jobs N] [--metrics-out FILE]
-           run every policy, print one row each
+           [--trace-out FILE]
+           run every policy, print one row each; --trace-out captures every
+           run through the flight recorder and writes one Chrome Trace
+           Event JSON (open in Perfetto / chrome://tracing)
   generate [--util U] [--seed S] [--tasks MIN..MAX]  emit a schedulable set as JSON
   policies                                     list available policies
   serve    (--socket PATH | --tcp ADDR) [--workers N] [--queue N] [--fanout N]
@@ -361,6 +367,7 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
     let mut horizon = Time::from_ms(1_000);
     let mut jobs = 0usize;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -381,6 +388,7 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
                     .map_err(|e| CliError::Input(format!("--jobs: {e}")))?;
             }
             "--metrics-out" => metrics_out = Some(value()?.clone()),
+            "--trace-out" => trace_out = Some(value()?.clone()),
             other => return Err(CliError::Input(format!("unknown flag '{other}'"))),
         }
     }
@@ -409,6 +417,23 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
                 .collect()
         })
         .unwrap_or_default();
+    // `--trace-out` gives every policy its own flight recorder (wrapping
+    // that worker's shard recorder when metrics/logging are also on), so
+    // each captured stream — and therefore the exported file — is
+    // byte-identical for every `--jobs` value.
+    let tracers: Option<Vec<Arc<TraceRecorder>>> = trace_out.as_ref().map(|_| {
+        (0..PolicyKind::ALL.len())
+            .map(|index| {
+                Arc::new(match recorders.is_empty() {
+                    true => TraceRecorder::with_capacity(DEFAULT_TRACE_CAPACITY),
+                    false => TraceRecorder::wrapping(
+                        Arc::clone(&recorders[index % recorders.len()]),
+                        DEFAULT_TRACE_CAPACITY,
+                    ),
+                })
+            })
+            .collect()
+    });
     // Every policy simulates the same set independently — fan them out;
     // rows are then rendered in registry order, so the output (including
     // the "first applicable policy" normalization reference) is identical
@@ -420,8 +445,12 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
         let Ok(mut policy) = kind.build(&ts, &BuildOptions::default()) else {
             return None;
         };
-        let recorder =
-            (!recorders.is_empty()).then(|| Arc::clone(&recorders[index % recorders.len()]));
+        let recorder: Option<Arc<dyn Recorder>> = match &tracers {
+            Some(tracers) => Some(Arc::clone(&tracers[index]) as Arc<dyn Recorder>),
+            None => {
+                (!recorders.is_empty()).then(|| Arc::clone(&recorders[index % recorders.len()]))
+            }
+        };
         let report = {
             let mut ws = pool.checkout();
             ws.set_recorder(recorder);
@@ -468,6 +497,24 @@ fn cmd_compare(args: &[String]) -> Result<String, CliError> {
                 f64::NAN
             },
         ));
+    }
+    if let (Some(path), Some(tracers)) = (&trace_out, &tracers) {
+        let buffers: Vec<mkss_obs::TraceBuffer> =
+            tracers.iter().map(|tracer| tracer.snapshot()).collect();
+        let runs: Vec<(&str, &mkss_obs::TraceBuffer)> = PolicyKind::ALL
+            .iter()
+            .map(|kind| kind.id())
+            .zip(&buffers)
+            .collect();
+        std::fs::write(path, chrome_trace(&runs))?;
+        out.push_str(&format!("wrote trace to {path}\n"));
+        // Violation forensics: any run that tipped an (m,k) constraint gets
+        // its reconstructed window and recent-event tail printed inline.
+        for (label, buffer) in &runs {
+            for report in violation_reports(buffer, 16) {
+                out.push_str(&format!("[{label}] {}", report.render()));
+            }
+        }
     }
     if let (Some(path), Some(registry)) = (&metrics_out, &registry) {
         let doc = mkss_obs::metrics_doc(
@@ -878,6 +925,48 @@ mod tests {
             assert!(body.contains(key), "missing {key} in:\n{body}");
         }
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compare_writes_a_chrome_trace_identically_across_jobs() {
+        let file = sample_file();
+        let mut traces = Vec::new();
+        for jobs in ["1", "3"] {
+            let path = std::env::temp_dir().join(format!(
+                "mkss-cli-trace-jobs{jobs}-{}.json",
+                std::process::id()
+            ));
+            let out = run(&args(&[
+                "compare",
+                file.as_str(),
+                "--horizon-ms",
+                "100",
+                "--jobs",
+                jobs,
+                "--trace-out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("wrote trace to"), "{out}");
+            traces.push(std::fs::read_to_string(&path).unwrap());
+            let _ = std::fs::remove_file(path);
+        }
+        // One flight recorder per policy: the export is a pure function of
+        // the per-policy streams, so worker count cannot change a byte.
+        assert_eq!(traces[0], traces[1]);
+        let body = &traces[0];
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+        for kind in PolicyKind::ALL {
+            assert!(body.contains(kind.id()), "missing {kind:?} track");
+        }
+        for needle in [
+            "\"ph\":\"M\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"b\"",
+            "\"ph\":\"e\"",
+        ] {
+            assert!(body.contains(needle), "missing {needle}");
+        }
     }
 
     #[test]

@@ -88,9 +88,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: RECORDER_GATED_EMIT,
-        summary: "every recorder incr/observe call in crates/sim sits inside an \
-                  `if let Some(recorder)` gate, so the recorder-off path stays \
-                  one branch per emit site",
+        summary: "every recorder incr/observe/event call in crates/sim sits \
+                  inside an `if let Some(recorder)` gate, so the recorder-off \
+                  path stays one branch per emit site",
     },
     RuleInfo {
         id: MALFORMED_DIRECTIVE,

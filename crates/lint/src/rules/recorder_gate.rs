@@ -13,11 +13,14 @@
 //! }
 //! ```
 //!
-//! so this rule requires every `.incr(` / `.observe(` call in
-//! `crates/sim/src/` to sit lexically inside a block whose opening
+//! so this rule requires every `.incr(` / `.observe(` / `.event(` call
+//! in `crates/sim/src/` to sit lexically inside a block whose opening
 //! statement is an `if let Some(…)` mentioning `recorder`. A call via
 //! `.unwrap()`, an `else` branch, or a hoisted handle all land outside
-//! such a block and are flagged.
+//! such a block and are flagged. `.event(` is the structured
+//! flight-recorder hook: its `EngineEvent` argument is a stack-built
+//! `Copy` value, so constructing it inside the gate keeps the detached
+//! path allocation-free too.
 
 use super::{scope, FileCtx, Finding, RECORDER_GATED_EMIT};
 use crate::lexer::TokKind;
@@ -47,7 +50,7 @@ pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             }
             TokKind::Punct(';') => stmt_start = i + 1,
             TokKind::Ident
-                if (t.is_ident("incr") || t.is_ident("observe"))
+                if (t.is_ident("incr") || t.is_ident("observe") || t.is_ident("event"))
                     && ctx.tok(i.wrapping_sub(1)).is_punct('.')
                     && ctx.tok(i + 1).is_punct('(')
                     && ctx.live(i)

@@ -221,6 +221,53 @@ impl HistogramId {
             None => bounds.len(),
         }
     }
+
+    /// Estimate the `q`-th percentile (`1..=100`) from stored bucket
+    /// counts, at bucket resolution: the bound of the first bucket whose
+    /// cumulative count reaches rank `ceil(total·q/100)`, or
+    /// [`Percentile::Over`] the last bound when the rank lands in the
+    /// overflow cell. `None` when the histogram is empty.
+    ///
+    /// Shared by the `mkss-top` frame renderer and the `mkss-cli metrics`
+    /// pretty printer, so both show identical p50/p90/p99 summaries.
+    pub fn percentile(self, counts: &[u64], q: u64) -> Option<Percentile> {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (total * q.clamp(1, 100)).div_ceil(100).max(1);
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(match self.bounds().get(i) {
+                    Some(&bound) => Percentile::AtMost(bound),
+                    None => Percentile::Over(self.bounds()[Self::BUCKETS - 2]),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// A percentile estimate read off fixed histogram buckets — bucket
+/// resolution only, so it names a bound rather than an exact value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Percentile {
+    /// The percentile falls inside a bounded bucket: `value <= bound`.
+    AtMost(u64),
+    /// The percentile falls in the overflow cell: `value > bound` (the
+    /// histogram's last bound).
+    Over(u64),
+}
+
+impl std::fmt::Display for Percentile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Percentile::AtMost(bound) => write!(f, "<={bound}"),
+            Percentile::Over(bound) => write!(f, ">{bound}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +305,28 @@ mod tests {
         assert_eq!(h.bucket_of(32), HistogramId::BUCKETS - 2);
         assert_eq!(h.bucket_of(33), HistogramId::BUCKETS - 1); // overflow
         assert_eq!(h.bucket_of(u64::MAX), HistogramId::BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_distribution() {
+        let h = HistogramId::BackupDelayMs; // bounds [0,1,2,4,8,16,32]
+        let counts = [5, 3, 2, 0, 0, 0, 0, 0]; // 10 samples, all <= 2
+        assert_eq!(h.percentile(&counts, 50), Some(Percentile::AtMost(0)));
+        assert_eq!(h.percentile(&counts, 80), Some(Percentile::AtMost(1)));
+        assert_eq!(h.percentile(&counts, 99), Some(Percentile::AtMost(2)));
+        assert_eq!(h.percentile(&counts, 100), Some(Percentile::AtMost(2)));
+    }
+
+    #[test]
+    fn percentile_overflow_and_empty_cases() {
+        let h = HistogramId::BackupDelayMs;
+        assert_eq!(h.percentile(&[0; 8], 50), None, "empty histogram");
+        let overflow = [0, 0, 0, 0, 0, 0, 0, 4];
+        assert_eq!(h.percentile(&overflow, 50), Some(Percentile::Over(32)));
+        assert_eq!(Percentile::Over(32).to_string(), ">32");
+        assert_eq!(Percentile::AtMost(4).to_string(), "<=4");
+        let single = [0, 1, 0, 0, 0, 0, 0, 0];
+        assert_eq!(h.percentile(&single, 1), Some(Percentile::AtMost(1)));
     }
 
     #[test]

@@ -36,11 +36,17 @@ mod recorder;
 mod registry;
 mod reporter;
 mod span;
+mod trace;
 
-pub use event::{CounterId, HistogramId};
+pub use event::{CounterId, HistogramId, Percentile};
 pub use export::{metrics_doc, MetricsDoc};
 pub use log::{LogLevel, ParseLogLevelError, LOG_ENV_VAR};
 pub use recorder::{EchoRecorder, NoopRecorder, Recorder, RequestId, ScopedRecorder};
 pub use registry::{MetricsSnapshot, RecorderHandle, Registry};
 pub use reporter::Reporter;
 pub use span::Stopwatch;
+pub use trace::{
+    chrome_trace, timeline_text, trace_json_fragment, violation_reports, violation_reports_on,
+    CopyRole, EngineEvent, TraceBuffer, TraceEvent, TraceKind, TraceRecorder, ViolationReport,
+    DEFAULT_TRACE_CAPACITY, PROC_NONE,
+};

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::event::{CounterId, HistogramId};
 use crate::registry::RecorderHandle;
 use crate::reporter::Reporter;
+use crate::trace::EngineEvent;
 
 /// Sink for engine and harness events.
 ///
@@ -19,6 +20,14 @@ pub trait Recorder: Send + Sync {
 
     /// Record one sample into a histogram.
     fn observe(&self, histogram: HistogramId, value: u64);
+
+    /// Receive one structured engine event — the flight-recorder feed.
+    ///
+    /// Defaults to a no-op so aggregating recorders (registry handles)
+    /// stay unchanged; only trace-aware sinks like
+    /// [`TraceRecorder`](crate::TraceRecorder) override it.
+    #[inline]
+    fn event(&self, _event: &EngineEvent) {}
 
     /// Add 1 to a counter (the overwhelmingly common case).
     #[inline]
@@ -119,6 +128,14 @@ impl Recorder for ScopedRecorder {
             global.observe(histogram, value);
         }
     }
+
+    #[inline]
+    fn event(&self, event: &EngineEvent) {
+        self.local.event(event);
+        if let Some(global) = &self.global {
+            global.event(event);
+        }
+    }
 }
 
 /// A recorder that aggregates into a registry shard *and* narrates each
@@ -149,6 +166,18 @@ impl Recorder for EchoRecorder {
         self.handle.observe(histogram, value);
         self.reporter
             .line(&format!("event {} observe {value}", histogram.name()));
+    }
+
+    fn event(&self, event: &EngineEvent) {
+        self.reporter.line(&format!(
+            "event t={}us {} task={} job={} copy={} payload={}",
+            event.at_us,
+            event.kind.name(),
+            event.task,
+            event.job,
+            event.copy.name(),
+            event.payload
+        ));
     }
 }
 

@@ -32,6 +32,16 @@ impl Stopwatch {
     pub fn elapsed_us(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
+
+    /// Whole milliseconds elapsed since [`Stopwatch::start`], rounded up.
+    ///
+    /// The integer counterpart of [`Stopwatch::elapsed_ms`]: use this for
+    /// anything that feeds a histogram or an integer wire field (daemon
+    /// uptime, latency buckets), so no float round-trip sits between the
+    /// clock and the stored value.
+    pub fn elapsed_ms_ceil(&self) -> u64 {
+        self.elapsed_us().div_ceil(1000)
+    }
 }
 
 #[cfg(test)]
@@ -45,6 +55,17 @@ mod tests {
         let second = watch.elapsed_ms();
         assert!(first >= 0.0);
         assert!(second >= first);
+    }
+
+    #[test]
+    fn millisecond_ceiling_rounds_up_from_microseconds() {
+        let watch = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = watch.elapsed_us();
+        let ms = watch.elapsed_ms_ceil();
+        assert!(ms >= 1, "2ms sleep reads as at least 1ms");
+        // Ceiling of an earlier reading never exceeds a later reading's.
+        assert!(ms >= us.div_ceil(1000), "{ms} < ceil({us}/1000)");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 use std::sync::Arc;
 
 use mkss_core::par;
-use mkss_obs::{metrics_doc, MetricsSnapshot, Recorder, Registry, RequestId, ScopedRecorder};
+use mkss_obs::{
+    metrics_doc, trace_json_fragment, MetricsSnapshot, Recorder, Registry, RequestId,
+    ScopedRecorder, TraceRecorder,
+};
 use mkss_policies::BuildOptions;
 use mkss_sim::prelude::{simulate_in, SimReport, WorkspacePool};
 
@@ -93,13 +96,32 @@ fn exec_simulate(id: u64, job: &SimJob, env: &ExecEnv<'_>) -> String {
         Err(e) => return error_line(Some(id), &e.to_string()),
     };
     let registry = Arc::new(Registry::new(1));
+    // When the request asked for a trace, tee the scoped recorder through a
+    // bounded flight recorder; the ring holds exactly the last N events.
+    let tracer = job.trace_last.map(|last| {
+        Arc::new(TraceRecorder::wrapping(
+            scoped(id, &registry, 0, env),
+            last as usize,
+        ))
+    });
     let report = {
         let mut ws = env.pool.checkout();
-        ws.set_recorder(Some(scoped(id, &registry, 0, env)));
+        ws.set_recorder(Some(match &tracer {
+            Some(tracer) => Arc::clone(tracer) as Arc<dyn Recorder>,
+            None => scoped(id, &registry, 0, env),
+        }));
         simulate_in(&mut ws, &job.task_set, policy.as_mut(), &job.config)
     };
+    let mut result = report_json(&report);
+    if let Some(tracer) = tracer {
+        // Splice the timeline into the result object: `...}` → `...,"trace":{...}}`.
+        result.pop();
+        result.push_str(",\"trace\":");
+        result.push_str(&trace_json_fragment(&tracer.snapshot()));
+        result.push('}');
+    }
     let metrics = request_metrics(id, "simulate", registry.snapshot());
-    ok_line(id, &report_json(&report), Some(&metrics))
+    ok_line(id, &result, Some(&metrics))
 }
 
 fn exec_compare(id: u64, job: &CompareJob, env: &ExecEnv<'_>) -> String {
@@ -293,6 +315,28 @@ mod tests {
             global.snapshot().counter(CounterId::JobsReleased) > 0,
             "tee observed the run"
         );
+    }
+
+    #[test]
+    fn simulate_trace_embeds_a_bounded_timeline() {
+        let pool = WorkspacePool::new();
+        let traced = SIMULATE.replace(
+            r#""horizon_ms": 100}"#,
+            r#""horizon_ms": 100, "trace": {"last": 8}}"#,
+        );
+        let line = run(&traced, &env(&pool));
+        assert!(line.contains("\"trace\":{\"capacity\":8,"), "{line}");
+        assert!(line.contains("\"events\":[{\"t\":"), "{line}");
+        // Bounded: the ring holds at most 8 events however long the run.
+        assert!(line.matches("\"kind\":").count() <= 8, "{line}");
+        // Deterministic: repeating the request yields the same bytes.
+        assert_eq!(line, run(&traced, &env(&pool)));
+        // Tracing is observation-only: excising the trace member yields
+        // byte-for-byte the untraced response.
+        let plain = run(SIMULATE, &env(&pool));
+        let (head, rest) = line.split_once(",\"trace\":").unwrap();
+        let tail = rest.split_once("}]}").unwrap().1;
+        assert_eq!(format!("{head}{tail}"), plain);
     }
 
     #[test]

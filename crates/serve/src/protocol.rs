@@ -8,7 +8,8 @@
 //! {"id": 1, "op": "ping"}
 //! {"id": 2, "op": "simulate", "task_set": {"tasks": [{"period_ms": 10, "wcet_ms": 2, "m": 1, "k": 2}]},
 //!  "policy": "selective", "horizon_ms": 100,
-//!  "faults": {"seed": 7, "transient_per_ms": 1e-5, "permanent": {"proc": 0, "at_ms": 40}}}
+//!  "faults": {"seed": 7, "transient_per_ms": 1e-5, "permanent": {"proc": 0, "at_ms": 40}},
+//!  "trace": {"last": 64}}
 //! {"id": 3, "op": "compare", "task_set": {...}, "horizon_ms": 100, "policies": ["st", "dp"]}
 //! {"id": 4, "op": "sweep", "task_set": {...}, "policy": "dp", "horizon_ms": 100,
 //!  "faults": {"transient_per_ms": 1e-5}, "seeds": 32, "seed_from": 100}
@@ -22,6 +23,12 @@
 //! only for simulation ops), `{"id": ..., "ok": false, "error": "..."}`
 //! on failure. Unknown request members are ignored for forward
 //! compatibility; unknown ops are errors.
+//!
+//! `simulate` accepts an optional `"trace": {"last": N}` member
+//! (`1..=MAX_TRACE_LAST`): the run is recorded through the
+//! `mkss_obs` flight recorder and the result gains a `trace` member with
+//! the last `N` engine events, oldest first. Sweeps ignore the member —
+//! a bounded timeline per replica would dwarf the aggregate response.
 //!
 //! `watch` is the one *streaming* op: the daemon pushes one `ok` line per
 //! sample (the `result` is a full metrics document whose `meta` carries
@@ -48,6 +55,10 @@ use crate::json::{self, push_json_string, JsonValue};
 /// Upper bound on `seeds` in a sweep, so one request line cannot pin the
 /// worker pool for minutes.
 pub const MAX_SWEEP_SEEDS: u64 = 4096;
+
+/// Upper bound on `trace.last` in a simulate, so one request line cannot
+/// balloon a response (and the per-request ring allocation) arbitrarily.
+pub const MAX_TRACE_LAST: u64 = 4096;
 
 /// A parsed request: correlation id plus the operation.
 #[derive(Debug)]
@@ -102,6 +113,10 @@ pub struct SimJob {
     pub policy: PolicyKind,
     /// Horizon, power model, and fault scenario.
     pub config: SimConfig,
+    /// When set, capture the run through the flight recorder and embed
+    /// the last this-many engine events in the response
+    /// (`1..=MAX_TRACE_LAST`).
+    pub trace_last: Option<u64>,
 }
 
 /// Per-policy comparison over one scenario.
@@ -205,7 +220,24 @@ fn parse_sim_job(doc: &JsonValue) -> Result<SimJob, String> {
         task_set: parse_task_set(doc)?,
         policy: parse_policy(doc)?,
         config: parse_config(doc)?,
+        trace_last: parse_trace(doc)?,
     })
+}
+
+fn parse_trace(doc: &JsonValue) -> Result<Option<u64>, String> {
+    let Some(spec) = doc.get("trace") else {
+        return Ok(None);
+    };
+    if !matches!(spec, JsonValue::Object(_)) {
+        return Err("'trace' must be an object".into());
+    }
+    let last = req_u64(spec, "last").map_err(|e| format!("trace: {e}"))?;
+    if last == 0 || last > MAX_TRACE_LAST {
+        return Err(format!(
+            "'trace.last' must be in 1..={MAX_TRACE_LAST}, got {last}"
+        ));
+    }
+    Ok(Some(last))
 }
 
 fn parse_compare_job(doc: &JsonValue) -> Result<CompareJob, String> {
@@ -480,6 +512,35 @@ mod tests {
         let permanent = job.config.faults.permanent.unwrap();
         assert_eq!(permanent.proc, ProcId::SPARE);
         assert_eq!(permanent.at, Time::from_ms(40));
+        assert_eq!(job.trace_last, None);
+    }
+
+    #[test]
+    fn parses_simulate_trace_option() {
+        let line = format!(
+            r#"{{"id": 9, "op": "simulate", {SET}, "policy": "st", "horizon_ms": 100,
+               "trace": {{"last": 64}}}}"#
+        );
+        let Op::Simulate(job) = Request::parse(&line).unwrap().op else {
+            panic!("expected simulate")
+        };
+        assert_eq!(job.trace_last, Some(64));
+    }
+
+    #[test]
+    fn trace_option_is_bounded_and_shaped() {
+        for (spec, msg) in [
+            (r#""trace": {"last": 0}"#, "1..="),
+            (r#""trace": {"last": 4097}"#, "1..="),
+            (r#""trace": {}"#, "trace: "),
+            (r#""trace": 64"#, "must be an object"),
+        ] {
+            let line = format!(
+                r#"{{"id": 9, "op": "simulate", {SET}, "policy": "st", "horizon_ms": 100, {spec}}}"#
+            );
+            let err = Request::parse(&line).unwrap_err();
+            assert!(err.message.contains(msg), "{spec}: {err}");
+        }
     }
 
     #[test]

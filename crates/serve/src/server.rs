@@ -502,7 +502,7 @@ fn daemon_doc(shared: &Shared, extra: &[(&str, String)]) -> MetricsDoc {
     let mut meta: Vec<(&str, String)> = vec![
         ("endpoint", "daemon".to_string()),
         ("seq", seq.to_string()),
-        ("uptime_ms", (shared.start.elapsed_us() / 1000).to_string()),
+        ("uptime_ms", shared.start.elapsed_ms_ceil().to_string()),
         ("workers", shared.jobs.worker_count().to_string()),
         ("busy_workers", shared.jobs.busy_count().to_string()),
         ("queue", shared.config.queue_capacity.to_string()),

@@ -70,7 +70,7 @@ use mkss_core::job::{CopyKind, Job, JobClass};
 use mkss_core::mk::MkMonitor;
 use mkss_core::task::{TaskId, TaskSet};
 use mkss_core::time::Time;
-use mkss_obs::{CounterId, HistogramId, Recorder};
+use mkss_obs::{CopyRole, CounterId, EngineEvent, HistogramId, Recorder, TraceKind, PROC_NONE};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -705,6 +705,16 @@ struct Engine<'a, 'w> {
     time_advance: TimeAdvance,
 }
 
+/// Map the engine's copy kind onto the trace catalog's copy role.
+#[inline]
+const fn copy_role(kind: CopyKind) -> CopyRole {
+    match kind {
+        CopyKind::Main => CopyRole::Main,
+        CopyKind::Backup => CopyRole::Backup,
+        CopyKind::Optional => CopyRole::Optional,
+    }
+}
+
 impl<'a, 'w> Engine<'a, 'w> {
     /// Bump a counter on the attached recorder, if any. One predictable
     /// branch when detached — cheap enough for every emit site.
@@ -723,10 +733,48 @@ impl<'a, 'w> Engine<'a, 'w> {
         }
     }
 
-    /// Narrate one backup-copy release: postponed (`r̃ = r + θ`, θ > 0)
-    /// releases additionally sample θ into the delay histogram.
+    /// Hand one structured event to the attached recorder, if any — the
+    /// flight-recorder feed. The event is a stack-built `Copy` value
+    /// constructed inside the gate, so the detached cost stays one
+    /// predictable branch and zero allocations.
     #[inline]
-    fn emit_backup_release(&self, backup_delay: Time) {
+    #[allow(clippy::too_many_arguments)] // internal: mirrors EngineEvent's field list
+    fn emit_event(
+        &self,
+        at: Time,
+        kind: TraceKind,
+        task: u32,
+        job: u32,
+        copy: CopyRole,
+        proc: u8,
+        payload: u64,
+    ) {
+        if let Some(recorder) = &self.ws.recorder.0 {
+            recorder.event(&EngineEvent {
+                at_us: at.ticks(),
+                kind,
+                task,
+                job,
+                copy,
+                proc,
+                payload,
+            });
+        }
+    }
+
+    /// Narrate one backup-copy release: postponed (`r̃ = r + θ`, θ > 0)
+    /// releases additionally sample θ into the delay histogram. The
+    /// structured event carries the *effective* release time `r + θ`
+    /// with θ (in ticks) as payload.
+    #[inline]
+    fn emit_backup_release(
+        &self,
+        backup_delay: Time,
+        task: u32,
+        job: u32,
+        proc: ProcId,
+        release: Time,
+    ) {
         self.emit(CounterId::BackupsReleased);
         if !backup_delay.is_zero() {
             self.emit(CounterId::BackupsPostponed);
@@ -734,6 +782,15 @@ impl<'a, 'w> Engine<'a, 'w> {
             // float math inside the recorder gate.
             self.emit_observe(HistogramId::BackupDelayMs, backup_delay.as_ms_ceil());
         }
+        self.emit_event(
+            release + backup_delay,
+            TraceKind::BackupRelease,
+            task,
+            job,
+            CopyRole::Backup,
+            proc.index() as u8,
+            backup_delay.ticks(),
+        );
     }
 
     // mkss-lint: hot-path begin
@@ -788,6 +845,15 @@ impl<'a, 'w> Engine<'a, 'w> {
                     // stall and end the run (unresolved jobs miss at the
                     // horizon below) instead of silently spinning.
                     self.emit(CounterId::EngineStalls);
+                    self.emit_event(
+                        self.clock,
+                        TraceKind::EngineStall,
+                        0,
+                        0,
+                        CopyRole::None,
+                        PROC_NONE,
+                        0,
+                    );
                     break;
                 }
             }
@@ -896,6 +962,15 @@ impl<'a, 'w> Engine<'a, 'w> {
         self.emit(CounterId::PermanentFaults);
         self.dispatch_dirty = [true; 2];
         let p = pf.proc;
+        self.emit_event(
+            self.clock,
+            TraceKind::PermanentFault,
+            0,
+            0,
+            CopyRole::None,
+            p.index() as u8,
+            0,
+        );
         self.alive[p.index()] = false;
         self.death_time[p.index()] = Some(self.clock);
         if let Some(c) = self.running[p.index()].take() {
@@ -911,6 +986,16 @@ impl<'a, 'w> Engine<'a, 'w> {
                 self.ws.copies[idx].state = CopyState::Lost;
                 self.stats.copies_lost += 1;
                 self.emit(CounterId::CopiesLost);
+                let copy = &self.ws.copies[idx];
+                self.emit_event(
+                    self.clock,
+                    TraceKind::CopyLost,
+                    copy.job.id.task.0 as u32,
+                    copy.job.id.index as u32,
+                    copy_role(copy.kind),
+                    p.index() as u8,
+                    0,
+                );
                 self.deactivate_copy(idx);
             } else {
                 i += 1;
@@ -972,8 +1057,10 @@ impl<'a, 'w> Engine<'a, 'w> {
         tstate.monitor.record(outcome.is_met());
         let now_violated = tstate.monitor.violated();
         let distance = tstate.monitor.distance_to_violation();
+        let mk = tstate.monitor.constraint();
         self.emit_observe(HistogramId::MkDistance, u64::from(distance));
-        if now_violated && !was_violated {
+        let newly_violated = now_violated && !was_violated;
+        if newly_violated {
             self.violations.push(MkViolation {
                 task: job.id.task,
                 job_index: job.id.index,
@@ -984,11 +1071,43 @@ impl<'a, 'w> Engine<'a, 'w> {
             JobOutcome::Met => {
                 self.stats.met += 1;
                 self.emit(CounterId::JobsMet);
+                self.emit_event(
+                    at,
+                    TraceKind::JobMet,
+                    job.id.task.0 as u32,
+                    job.id.index as u32,
+                    CopyRole::None,
+                    PROC_NONE,
+                    u64::from(distance),
+                );
             }
             JobOutcome::Missed => {
                 self.stats.missed += 1;
                 self.emit(CounterId::JobsMissed);
+                self.emit_event(
+                    at,
+                    TraceKind::JobMissed,
+                    job.id.task.0 as u32,
+                    job.id.index as u32,
+                    CopyRole::None,
+                    PROC_NONE,
+                    u64::from(distance),
+                );
             }
+        }
+        if newly_violated {
+            // The resolution event precedes this one in the capture
+            // stream, so forensics can walk backwards from here and find
+            // the tipping job first. Payload packs the constraint.
+            self.emit_event(
+                at,
+                TraceKind::MkViolation,
+                job.id.task.0 as u32,
+                job.id.index as u32,
+                CopyRole::None,
+                PROC_NONE,
+                (u64::from(mk.m()) << 32) | u64::from(mk.k()),
+            );
         }
         if self.config.record_trace {
             self.ws.trace.resolutions.push(JobResolution {
@@ -1138,6 +1257,15 @@ impl<'a, 'w> Engine<'a, 'w> {
                 );
                 self.stats.mandatory += 1;
                 self.emit(CounterId::MandatoryReleased);
+                self.emit_event(
+                    release,
+                    TraceKind::MandatoryRelease,
+                    id.0 as u32,
+                    index as u32,
+                    CopyRole::Main,
+                    main_proc.index() as u8,
+                    u64::from(main_speed_permil),
+                );
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Mandatory);
                 let mut copies = [0usize; 2];
                 let mut copy_count = 0u8;
@@ -1191,7 +1319,13 @@ impl<'a, 'w> Engine<'a, 'w> {
                                 .calendar
                                 .push(backup_release, EventKind::CopyRelease { copy: backup_idx });
                         }
-                        self.emit_backup_release(backup_delay);
+                        self.emit_backup_release(
+                            backup_delay,
+                            id.0 as u32,
+                            index as u32,
+                            backup_proc,
+                            release,
+                        );
                     }
                 } else {
                     // The main's processor is dead: host the job as its
@@ -1226,7 +1360,13 @@ impl<'a, 'w> Engine<'a, 'w> {
                             .calendar
                             .push(backup_release, EventKind::CopyRelease { copy: idx });
                     }
-                    self.emit_backup_release(backup_delay);
+                    self.emit_backup_release(
+                        backup_delay,
+                        id.0 as u32,
+                        index as u32,
+                        main_proc.other(),
+                        release,
+                    );
                 }
                 for &c in &copies[..copy_count as usize] {
                     self.activate_copy(c);
@@ -1248,6 +1388,15 @@ impl<'a, 'w> Engine<'a, 'w> {
                 self.emit(CounterId::OptionalSelected);
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
                 let proc = self.live_proc(proc);
+                self.emit_event(
+                    release,
+                    TraceKind::OptionalSelect,
+                    id.0 as u32,
+                    index as u32,
+                    CopyRole::Optional,
+                    proc.index() as u8,
+                    u64::from(fd),
+                );
                 let idx = self.ws.copies.len();
                 self.ws.copies.push(CopyInst {
                     job,
@@ -1277,6 +1426,15 @@ impl<'a, 'w> Engine<'a, 'w> {
             ReleaseDecision::Skip => {
                 self.stats.optional_skipped += 1;
                 self.emit(CounterId::OptionalSkipped);
+                self.emit_event(
+                    release,
+                    TraceKind::OptionalSkip,
+                    id.0 as u32,
+                    index as u32,
+                    CopyRole::None,
+                    PROC_NONE,
+                    u64::from(fd),
+                );
                 let job = Job::nth(id, self.ts.task(id), index, JobClass::Optional);
                 self.ws.jobs.push(JobEntry {
                     job,
@@ -1359,6 +1517,15 @@ impl<'a, 'w> Engine<'a, 'w> {
             {
                 self.stats.optional_abandoned += 1;
                 self.emit(CounterId::OptionalAbandoned);
+                self.emit_event(
+                    self.clock,
+                    TraceKind::OptionalAbandon,
+                    copy.job.id.task.0 as u32,
+                    copy.job.id.index as u32,
+                    CopyRole::Optional,
+                    proc.index() as u8,
+                    0,
+                );
                 self.stop_copy(c, CopyState::Abandoned, SegmentEnd::Preempted);
             } else {
                 if copy.proc == proc
@@ -1581,10 +1748,22 @@ impl<'a, 'w> Engine<'a, 'w> {
         // not "cancel" a sibling that also just finished)…
         for &c in &completions[..completed] {
             let faulted = self.sampler.sample(self.ws.copies[c].exec_total);
+            let ev_task = self.ws.copies[c].job.id.task.0 as u32;
+            let ev_job = self.ws.copies[c].job.id.index as u32;
+            let ev_role = copy_role(self.ws.copies[c].kind);
             if faulted {
                 self.stats.transient_faults += 1;
                 self.emit(CounterId::FaultsInjected);
                 self.emit(CounterId::TransientFaults);
+                self.emit_event(
+                    self.clock,
+                    TraceKind::TransientFault,
+                    ev_task,
+                    ev_job,
+                    ev_role,
+                    self.ws.copies[c].proc.index() as u8,
+                    0,
+                );
             }
             let proc = self.ws.copies[c].proc;
             self.running[proc.index()] = None;
@@ -1595,8 +1774,28 @@ impl<'a, 'w> Engine<'a, 'w> {
                 CopyKind::Backup => {
                     self.stats.backups_completed += 1;
                     self.emit(CounterId::BackupsCompleted);
+                    self.emit_event(
+                        self.clock,
+                        TraceKind::BackupComplete,
+                        ev_task,
+                        ev_job,
+                        CopyRole::Backup,
+                        proc.index() as u8,
+                        u64::from(faulted),
+                    );
                 }
-                CopyKind::Optional if !faulted => self.emit(CounterId::OptionalExecuted),
+                CopyKind::Optional if !faulted => {
+                    self.emit(CounterId::OptionalExecuted);
+                    self.emit_event(
+                        self.clock,
+                        TraceKind::OptionalComplete,
+                        ev_task,
+                        ev_job,
+                        CopyRole::Optional,
+                        proc.index() as u8,
+                        0,
+                    );
+                }
                 _ => {}
             }
         }
@@ -1629,12 +1828,32 @@ impl<'a, 'w> Engine<'a, 'w> {
                 self.resolve(job_idx, JobOutcome::Met, self.clock);
                 if recovered {
                     self.emit(CounterId::FaultsRecovered);
+                    let copy = &self.ws.copies[c];
+                    self.emit_event(
+                        self.clock,
+                        TraceKind::FaultRecovered,
+                        copy.job.id.task.0 as u32,
+                        copy.job.id.index as u32,
+                        CopyRole::Backup,
+                        copy.proc.index() as u8,
+                        0,
+                    );
                 }
             }
             if let Some(sib) = self.ws.copies[c].sibling {
                 if self.ws.copies[sib].state == CopyState::Pending {
                     self.stats.backups_canceled += 1;
                     self.emit(CounterId::BackupsCanceled);
+                    let sibling = &self.ws.copies[sib];
+                    self.emit_event(
+                        self.clock,
+                        TraceKind::BackupCancel,
+                        sibling.job.id.task.0 as u32,
+                        sibling.job.id.index as u32,
+                        copy_role(sibling.kind),
+                        sibling.proc.index() as u8,
+                        0,
+                    );
                     self.stop_copy(sib, CopyState::Canceled, SegmentEnd::Canceled);
                 }
             }

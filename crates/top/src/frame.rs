@@ -6,7 +6,7 @@
 //! samples always produce the same [`Frame`], which is what makes the
 //! golden-frame render tests possible.
 
-use mkss_obs::{CounterId, HistogramId, MetricsSnapshot, Registry};
+use mkss_obs::{CounterId, HistogramId, MetricsSnapshot, Percentile, Registry};
 
 /// Daemon identity and pool gauges carried in a sample's `meta` block.
 ///
@@ -101,6 +101,9 @@ pub struct HistogramBlock {
     pub total: u64,
     /// Observations since the previous sample (`None` without baseline).
     pub delta: Option<u64>,
+    /// p50/p90/p99 estimates read off the fixed buckets, in that order;
+    /// empty for a histogram with no observations.
+    pub percentiles: Vec<(u64, Percentile)>,
     /// Bucket rows in bound order, overflow last.
     pub buckets: Vec<BucketRow>,
 }
@@ -209,6 +212,10 @@ impl Frame {
                     name: h.name(),
                     total: counts.iter().sum(),
                     delta: deltas.as_ref().map(|d| d.iter().sum()),
+                    percentiles: [50, 90, 99]
+                        .iter()
+                        .filter_map(|&q| h.percentile(counts, q).map(|p| (q, p)))
+                        .collect(),
                     buckets,
                 }
             })

@@ -3,7 +3,7 @@
 //! including bar lengths and rate digits, is determined by the frame,
 //! so renders are testable against golden strings.
 
-use crate::frame::{BucketRow, CounterRow, Frame};
+use crate::frame::{BucketRow, CounterRow, Frame, HistogramBlock};
 
 /// ANSI escape prelude for a live refresh: clear screen, cursor home.
 pub const ANSI_CLEAR: &str = "\x1b[2J\x1b[H";
@@ -41,6 +41,10 @@ pub fn render_plain(frame: &Frame) -> String {
                 None => String::new(),
             }
         ));
+        if let Some(line) = percentile_line(block) {
+            out.push_str(&line);
+            out.push('\n');
+        }
         for bucket in &block.buckets {
             out.push_str(&bucket_line(bucket, ""));
             out.push('\n');
@@ -97,6 +101,12 @@ pub fn render_ansi(frame: &Frame) -> String {
         ));
         out.push_str(RESET);
         out.push('\n');
+        if let Some(line) = percentile_line(block) {
+            out.push_str(DIM);
+            out.push_str(&line);
+            out.push_str(RESET);
+            out.push('\n');
+        }
         for bucket in &block.buckets {
             out.push_str(&bucket_line(bucket, GREEN));
             out.push('\n');
@@ -156,6 +166,20 @@ fn ops_line(frame: &Frame) -> String {
         line.push_str(&format!(" {} {}", op.name, fmt_rate(op.rate)));
     }
     line
+}
+
+/// The `p50/p90/p99` summary line of one histogram block — shared by
+/// both renderers (and, through `render_plain`, by `mkss-cli metrics`).
+/// `None` when the histogram has no observations.
+fn percentile_line(block: &HistogramBlock) -> Option<String> {
+    if block.percentiles.is_empty() {
+        return None;
+    }
+    let mut line = String::from("   ");
+    for (q, p) in &block.percentiles {
+        line.push_str(&format!(" p{q} {p}"));
+    }
+    Some(line)
 }
 
 fn counter_line(row: &CounterRow) -> String {
@@ -239,6 +263,18 @@ mod tests {
         assert!(text.contains("histograms:"), "{text}");
         assert!(text.contains("jobs_met"), "{text}");
         assert!(!text.contains('\x1b'), "plain render leaked ANSI escapes");
+    }
+
+    #[test]
+    fn plain_render_summarizes_percentiles() {
+        let text = render_plain(&Frame::build(None, &sample()));
+        // MkDistance fixture: [4,2,0,0,0,0,0,1] over bounds [0,1,2,3,4,6,8]
+        // → n=7, p50 at rank 4 (<=0), p90 at rank 7 (overflow, >8).
+        assert!(text.contains("p50 <=0"), "{text}");
+        assert!(text.contains("p90 >8"), "{text}");
+        assert!(text.contains("p99 >8"), "{text}");
+        // Histograms with no observations carry no percentile line.
+        assert!(!text.contains("p50 -"), "{text}");
     }
 
     #[test]

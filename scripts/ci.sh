@@ -61,6 +61,44 @@ assert doc["counters"]["jobs_released"] > 0, "compare smoke released no jobs"
 print("metrics document ok:", ", ".join(sorted(doc)))
 PY
 
+echo "== trace smoke (flight recorder: deterministic Chrome-trace export) =="
+# Two captures of the same workload with different worker counts must be
+# byte-identical (one flight recorder per policy, export a pure function
+# of the buffers), and the file must be well-formed Chrome Trace JSON.
+cargo run --release -q -p mkss-cli -- compare "$tmpdir/set.json" \
+    --horizon-ms 200 --jobs 1 --trace-out "$tmpdir/trace1.json" > /dev/null
+cargo run --release -q -p mkss-cli -- compare "$tmpdir/set.json" \
+    --horizon-ms 200 --jobs 4 --trace-out "$tmpdir/trace2.json" > /dev/null
+cmp "$tmpdir/trace1.json" "$tmpdir/trace2.json" || {
+    echo "ERROR: trace export differs across --jobs values" >&2
+    exit 1
+}
+python3 - "$tmpdir/trace1.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+phases = {e["ph"] for e in events}
+assert {"M", "i", "b", "e"} <= phases, f"missing phase kinds: {phases}"
+for e in events:
+    assert "pid" in e, f"event missing pid: {e}"
+    if e["ph"] != "M":
+        # Timed events always carry a thread and a timestamp; "M"
+        # metadata names a process (pid only) or a thread (pid+tid).
+        assert "tid" in e, f"timed event missing tid: {e}"
+        assert "ts" in e, f"timed event missing ts: {e}"
+opens = sum(1 for e in events if e["ph"] == "b")
+closes = sum(1 for e in events if e["ph"] == "e")
+assert opens == closes, f"unbalanced async spans: {opens} b vs {closes} e"
+tracks = {e["args"]["name"] for e in events
+          if e["ph"] == "M" and e["name"] == "process_name"}
+assert len(tracks) > 1, f"expected one track per policy, got {tracks}"
+print(f"chrome trace ok: {len(events)} events, {opens} spans, "
+      f"{len(tracks)} policy tracks")
+PY
+# The recorder-off hot path must still allocate nothing.
+cargo test --release -q -p mkss-sim --test zero_alloc
+
 echo "== serve smoke (daemon end-to-end: loadgen differential + clean shutdown) =="
 # Start the daemon, drive it with concurrent clients re-deriving every
 # response in-process (--differential fails on any byte mismatch), ask it
@@ -78,6 +116,38 @@ if [ ! -S "$serve_sock" ]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
+# One simulate with `"trace": {"last": N}` through the daemon: the
+# response line must embed a bounded, well-formed event timeline.
+python3 - "$serve_sock" <<'PY'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+req = {"id": 1, "op": "simulate",
+       "task_set": {"tasks": [
+           {"period_ms": 5, "deadline_ms": 4, "wcet_ms": 3, "m": 2, "k": 4},
+           {"period_ms": 10, "wcet_ms": 3, "m": 1, "k": 2}]},
+       "policy": "selective", "horizon_ms": 100, "trace": {"last": 32}}
+s.sendall((json.dumps(req) + "\n").encode())
+line = b""
+while not line.endswith(b"\n"):
+    chunk = s.recv(65536)
+    assert chunk, "daemon closed the connection mid-response"
+    line += chunk
+s.close()
+resp = json.loads(line)
+assert resp["ok"], resp
+trace = resp["result"]["trace"]
+assert trace["capacity"] == 32, trace["capacity"]
+assert 0 < len(trace["events"]) <= 32, len(trace["events"])
+assert trace["recorded"] == len(trace["events"]) + trace["dropped"]
+for e in trace["events"]:
+    for key in ("t", "seq", "kind", "task", "job", "copy", "payload"):
+        assert key in e, f"trace event missing {key}: {e}"
+seqs = [e["seq"] for e in trace["events"]]
+assert seqs == sorted(seqs), "trace events out of sequence order"
+print(f"serve trace ok: {len(trace['events'])} events embedded, "
+      f"{trace['dropped']} dropped by the ring")
+PY
 cargo run --release -q -p mkss-bench --bin loadgen -- \
     --socket "$serve_sock" --clients 4 --requests 16 --differential --shutdown
 wait "$serve_pid"

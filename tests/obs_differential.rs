@@ -7,10 +7,32 @@
 //! be deterministic: two recorder-on runs of the same input count the
 //! same events.
 
-use std::sync::Arc;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
-use mkss::obs::{CounterId, Registry};
+use mkss::obs::{CounterId, EchoRecorder, Registry, Reporter, TraceRecorder};
 use mkss::prelude::*;
+
+/// A cloneable in-memory `Reporter` sink, so a test can read back what
+/// the `MKSS_LOG=events` narration wrote.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl SharedSink {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
 
 fn fault_configs() -> Vec<FaultConfig> {
     vec![
@@ -68,6 +90,102 @@ fn recorder_on_reports_are_byte_identical_to_recorder_off() {
         snap.counter(CounterId::JobsMet) + snap.counter(CounterId::JobsMissed),
         snap.counter(CounterId::JobsReleased),
     );
+}
+
+#[test]
+fn echo_narration_carries_sim_time_and_leaves_the_report_untouched() {
+    let ts = Generator::new(WorkloadConfig::paper(), 5)
+        .schedulable_set(0.5)
+        .expect("generatable");
+    let config = SimConfig::builder()
+        .horizon_ms(300)
+        .faults(FaultConfig::transient(5e-4, 0x0b5))
+        .build();
+    let kind = PolicyKind::Selective;
+
+    let mut plain_ws = SimWorkspace::new();
+    let mut plain_policy = kind.build(&ts, &BuildOptions::default()).unwrap();
+    let plain = simulate_in(&mut plain_ws, &ts, plain_policy.as_mut(), &config);
+
+    // The MKSS_LOG=events backend: an EchoRecorder narrating to a sink
+    // this test can read back.
+    let sink = SharedSink::default();
+    let registry = Arc::new(Registry::new(1));
+    let echo = EchoRecorder::new(
+        registry.handle_at(0),
+        Arc::new(Reporter::with_sink(Box::new(sink.clone()))),
+    );
+    let mut echo_ws = SimWorkspace::with_recorder(Arc::new(echo));
+    let mut echo_policy = kind.build(&ts, &BuildOptions::default()).unwrap();
+    let echoed = simulate_in(&mut echo_ws, &ts, echo_policy.as_mut(), &config);
+
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&echoed).unwrap(),
+        "narration changed the report"
+    );
+    let narration = sink.text();
+    let timed: Vec<&str> = narration
+        .lines()
+        .filter(|l| l.starts_with("event t="))
+        .collect();
+    assert!(
+        !timed.is_empty(),
+        "no structured-event narration lines in:\n{narration}"
+    );
+    for line in &timed {
+        // Every structured line stamps the simulated instant, not wall
+        // time: `event t=<N>us <kind> task=... job=...`.
+        let t = line
+            .strip_prefix("event t=")
+            .and_then(|r| r.split_once("us "))
+            .map(|(n, _)| n)
+            .expect("sim-time prefix");
+        assert!(
+            t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty(),
+            "bad sim-time in narration line: {line}"
+        );
+        assert!(line.contains(" task="), "{line}");
+        assert!(line.contains(" job="), "{line}");
+    }
+    // Counter narration rides along too — both hooks share the reporter.
+    assert!(narration.contains("event jobs_released"), "{narration}");
+}
+
+#[test]
+fn flight_recorder_capture_leaves_the_report_untouched() {
+    let ts = Generator::new(WorkloadConfig::paper(), 9)
+        .schedulable_set(0.6)
+        .expect("generatable");
+    let config = SimConfig::builder()
+        .horizon_ms(400)
+        .faults(FaultConfig::combined(
+            ProcId::SPARE,
+            Time::from_ms(123),
+            3e-4,
+            0x77,
+        ))
+        .build();
+    for kind in PolicyKind::PAPER {
+        let mut plain_ws = SimWorkspace::new();
+        let mut plain_policy = kind.build(&ts, &BuildOptions::default()).unwrap();
+        let plain = simulate_in(&mut plain_ws, &ts, plain_policy.as_mut(), &config);
+
+        let tracer = Arc::new(TraceRecorder::with_capacity(4096));
+        let mut traced_ws = SimWorkspace::with_recorder(Arc::clone(&tracer) as _);
+        let mut traced_policy = kind.build(&ts, &BuildOptions::default()).unwrap();
+        let traced = simulate_in(&mut traced_ws, &ts, traced_policy.as_mut(), &config);
+
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "flight recorder changed the report for {kind}"
+        );
+        assert!(
+            !tracer.snapshot().is_empty(),
+            "flight recorder captured nothing for {kind}"
+        );
+    }
 }
 
 #[test]
