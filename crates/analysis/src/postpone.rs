@@ -88,6 +88,7 @@ impl Default for PostponeConfig {
 /// the analysis ran and was beaten by the floor, the second that it never
 /// ran — so they are separate variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: the raw-vs-floored dichotomy is Definition 4's case split; a third case cannot exist
 pub enum RawTheta {
     /// The inspecting-point minimum, which is at or above the promotion
     /// floor `Y_i` and therefore *is* the effective θ_i.

@@ -47,18 +47,16 @@ pub fn mandatory_utilization(ts: &TaskSet) -> f64 {
 pub fn liu_layland_sufficient(ts: &TaskSet) -> bool {
     let n = ts.len() as f64;
     let bound = n * (2f64.powf(1.0 / n) - 1.0);
-    let mut total = 0.0;
-    for (_, task) in ts.iter() {
-        if task.deadline() < task.period() {
-            return false;
-        }
-        total += task.utilization();
+    if ts.iter().any(|(_, task)| task.deadline() < task.period()) {
+        return false;
     }
+    let total = mkss_core::fold::sum_f64_by(ts.iter(), |(_, task)| task.utilization());
     total <= bound
 }
 
 /// Quick three-way verdict combining the necessary and sufficient bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: a three-way verdict (yes/no/undecided) is logically complete; consumers match exhaustively
 pub enum QuickVerdict {
     /// Definitely schedulable under the R-pattern (sufficient bound met).
     Schedulable,
@@ -103,12 +101,11 @@ pub fn mandatory_demand_fraction(ts: &TaskSet, pattern: Pattern) -> Option<f64> 
     if h == mkss_core::time::Time::MAX {
         return None;
     }
-    let mut demand = 0.0;
-    for (_, task) in ts.iter() {
+    let demand = mkss_core::fold::sum_f64_by(ts.iter(), |(_, task)| {
         let jobs = h.div_floor(task.period());
         let mandatory = pattern.mandatory_among(task.mk(), jobs);
-        demand += (mandatory * task.wcet().ticks()) as f64;
-    }
+        (mandatory * task.wcet().ticks()) as f64
+    });
     Some(demand / h.ticks() as f64)
 }
 

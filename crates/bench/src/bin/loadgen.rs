@@ -173,6 +173,7 @@ fn main() -> ExitCode {
                     Ok(client) => client,
                     Err(e) => {
                         reporter.line(&format!("client {client_index}: connect failed: {e}"));
+                        // mkss-lint: ordering — commutative tally; totals are read only after scope join, which synchronizes
                         failures.fetch_add(args.requests as u64, Ordering::Relaxed);
                         return;
                     }
@@ -184,12 +185,15 @@ fn main() -> ExitCode {
                         Ok(response) => response,
                         Err(e) => {
                             reporter.line(&format!("client {client_index} req {id}: {e}"));
+                            // mkss-lint: ordering — commutative tally read after scope join
                             failures.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                     };
+                    // mkss-lint: ordering — commutative tally read after scope join
                     sent.fetch_add(1, Ordering::Relaxed);
                     if args.differential && response != direct_response(&line, pool) {
+                        // mkss-lint: ordering — commutative tally read after scope join
                         mismatches.fetch_add(1, Ordering::Relaxed);
                         reporter.line(&format!(
                             "client {client_index} req {id}: daemon bytes diverge from \
@@ -201,8 +205,10 @@ fn main() -> ExitCode {
         }
     });
     let wall_ms = watch.elapsed_ms();
+    // mkss-lint: ordering — all writers joined at the scope exit above; these loads race with nothing
     let sent = sent.load(Ordering::Relaxed);
     let mismatches = mismatches.load(Ordering::Relaxed);
+    // mkss-lint: ordering — same: all writers joined at the scope exit
     let failures = failures.load(Ordering::Relaxed);
     let throughput = if wall_ms > 0.0 {
         f64::from(u32::try_from(sent).unwrap_or(u32::MAX)) / (wall_ms / 1e3)

@@ -525,6 +525,7 @@ pub fn run_experiment_observed(
         );
         let elapsed_ms = set_start.elapsed().as_secs_f64() * 1e3;
         if let Some(reporter) = &obs.progress {
+            // mkss-lint: ordering — progress tally; only its eventual total matters and workers join before results are read
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
             if done.is_multiple_of(progress_step) || done == total_sets {
                 reporter.line(&format!("{label_prefix}{done}/{total_sets} sets simulated"));

@@ -115,6 +115,7 @@ pub fn schedulability_experiment_observed(
     par::map_indexed(jobs, &bounds, |_, &(bucket_index, lo, hi)| {
         let row = analyze_bucket(config, bucket_index, lo, hi);
         if let Some(reporter) = progress {
+            // mkss-lint: ordering — progress tally feeding log lines only; never read for results
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
             reporter.line(&format!("sched: {done}/{total} buckets analyzed"));
         }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fold;
 pub mod history;
 pub mod job;
 pub mod mk;

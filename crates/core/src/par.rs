@@ -54,6 +54,7 @@ where
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        // mkss-lint: ordering — index claim only: each i is processed by exactly one worker, and results flow back through scope join, which synchronizes
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         local.push((i, f(i, item)));
@@ -238,6 +239,7 @@ impl WorkerPool {
     /// this is a scheduling-dependent instantaneous reading — it feeds
     /// utilization telemetry (`mkss-top`'s pool gauge), never results.
     pub fn busy_count(&self) -> usize {
+        // mkss-lint: ordering — telemetry gauge; any momentarily-stale reading is equally valid
         self.shared.busy.load(Ordering::Relaxed)
     }
 
@@ -327,8 +329,10 @@ fn worker_loop(shared: &PoolShared) {
         };
         match job {
             Some(job) => {
+                // mkss-lint: ordering — commutative gauge increment/decrement read only by the Relaxed telemetry load in busy_count
                 shared.busy.fetch_add(1, Ordering::Relaxed);
                 job();
+                // mkss-lint: ordering — see the increment above; the pair never orders other memory
                 shared.busy.fetch_sub(1, Ordering::Relaxed);
             }
             None => return,

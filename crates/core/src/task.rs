@@ -283,15 +283,15 @@ impl TaskSet {
         &self.tasks
     }
 
-    /// Total classic utilization `Σ Cᵢ/Pᵢ`.
+    /// Total classic utilization `Σ Cᵢ/Pᵢ`, summed in priority order.
     pub fn utilization(&self) -> f64 {
-        self.tasks.iter().map(Task::utilization).sum()
+        crate::fold::sum_f64_by(&self.tasks, Task::utilization)
     }
 
     /// Total (m,k)-utilization `Σ mᵢCᵢ/(kᵢPᵢ)` — the x-axis of the paper's
-    /// Figure 6.
+    /// Figure 6 — summed in priority order.
     pub fn mk_utilization(&self) -> f64 {
-        self.tasks.iter().map(Task::mk_utilization).sum()
+        crate::fold::sum_f64_by(&self.tasks, Task::mk_utilization)
     }
 
     /// The set's *pattern hyperperiod* `LCM_i(kᵢ·Pᵢ)`, saturating at

@@ -1,0 +1,216 @@
+//! The baseline mechanism: lets a *new* rule land as a hard CI error
+//! without a big-bang cleanup. A checked-in baseline file absorbs a
+//! known set of findings — matched findings are counted as
+//! `baselined` instead of failing the run — while anything *new*
+//! still fails, and a baseline entry that matches nothing is **stale**
+//! and fails too, so debt can only shrink.
+//!
+//! Format (line-oriented, `#` comments, tab- or space-separated):
+//!
+//! ```text
+//! # mkss-lint baseline — regenerate with --write-baseline
+//! MKSS-L013  3  crates/obs/src/event.rs
+//! MKSS-L011  crates/sim/src/engine.rs      # count defaults to 1
+//! ```
+//!
+//! This repo's policy (enforced by `tests/workspace_clean.rs`) is a
+//! **zero-entry** baseline at merge: every suppression must be a
+//! per-site reasoned allow. The mechanism exists for rule rollout
+//! inside a PR, not as a place for debt to live.
+
+use crate::rules::Finding;
+use crate::LintReport;
+use std::collections::BTreeMap;
+
+/// One baseline line: up to `count` findings with this code in this
+/// file are absorbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub code: String,
+    pub path: String,
+    pub count: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// Parses baseline text; malformed lines are hard errors (a typo must
+/// not silently absorb nothing).
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut entries = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let code = parts.next().unwrap_or("").to_string();
+        let (count, path) = match (parts.next(), parts.next()) {
+            (Some(c), Some(p)) => match c.parse::<usize>() {
+                Ok(k) => (k, p.to_string()),
+                Err(_) => return Err(format!("baseline line {}: bad count `{c}`", n + 1)),
+            },
+            (Some(p), None) => (1, p.to_string()),
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected CODE [COUNT] PATH",
+                    n + 1
+                ))
+            }
+        };
+        if !code.starts_with("MKSS-L") {
+            return Err(format!(
+                "baseline line {}: `{code}` is not an MKSS-Lnnn code",
+                n + 1
+            ));
+        }
+        if parts.next().is_some() {
+            return Err(format!("baseline line {}: trailing fields", n + 1));
+        }
+        entries.push(Entry { code, path, count });
+    }
+    Ok(Baseline { entries })
+}
+
+/// Aggregates a report's findings into baseline entries (one per
+/// code+path, with a count).
+pub fn from_report(report: &LintReport) -> Baseline {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &report.findings {
+        *counts
+            .entry((f.code().to_string(), f.path.clone()))
+            .or_insert(0) += 1;
+    }
+    Baseline {
+        entries: counts
+            .into_iter()
+            .map(|((code, path), count)| Entry { code, path, count })
+            .collect(),
+    }
+}
+
+/// Renders a baseline file (with the regeneration header).
+pub fn render(b: &Baseline) -> String {
+    let mut s = String::from(
+        "# mkss-lint baseline — absorbed findings (CODE [COUNT] PATH).\n\
+         # Regenerate with: cargo run -p mkss-lint -- --write-baseline lint-baseline.txt\n\
+         # Policy: this file is empty at merge; every suppression is a\n\
+         # per-site `mkss-lint: allow(...)` with a reason.\n",
+    );
+    for e in &b.entries {
+        s.push_str(&format!("{}\t{}\t{}\n", e.code, e.count, e.path));
+    }
+    s
+}
+
+impl Baseline {
+    /// Removes baselined findings from `report` (bumping
+    /// `report.baselined`) and returns the stale entries — baseline
+    /// lines whose budget was not fully consumed. Stale entries must
+    /// fail the run: the debt they tracked is gone.
+    pub fn apply(&self, report: &mut LintReport) -> Vec<Entry> {
+        let mut remaining: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *remaining
+                .entry((e.code.clone(), e.path.clone()))
+                .or_insert(0) += e.count;
+        }
+        let mut baselined = 0usize;
+        let absorb = |f: &Finding, remaining: &mut BTreeMap<(String, String), usize>| -> bool {
+            let key = (f.code().to_string(), f.path.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    true
+                }
+                _ => false,
+            }
+        };
+        report.findings.retain(|f| {
+            let hit = absorb(f, &mut remaining);
+            if hit {
+                baselined += 1;
+            }
+            !hit
+        });
+        report.baselined += baselined;
+        remaining
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((code, path), count)| Entry { code, path, count })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, NONDETERMINISM, NO_UNWRAP_IN_LIB};
+
+    fn report() -> LintReport {
+        LintReport {
+            findings: vec![
+                Finding {
+                    path: "a.rs".into(),
+                    line: 1,
+                    rule: NO_UNWRAP_IN_LIB,
+                    message: "m".into(),
+                },
+                Finding {
+                    path: "a.rs".into(),
+                    line: 2,
+                    rule: NO_UNWRAP_IN_LIB,
+                    message: "m".into(),
+                },
+                Finding {
+                    path: "b.rs".into(),
+                    line: 3,
+                    rule: NONDETERMINISM,
+                    message: "m".into(),
+                },
+            ],
+            ..LintReport::default()
+        }
+    }
+
+    #[test]
+    fn parse_apply_roundtrip() {
+        let mut r = report();
+        let b = from_report(&r);
+        let rendered = render(&b);
+        let b2 = parse(&rendered).unwrap();
+        let stale = b2.apply(&mut r);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.baselined, 3);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn partial_absorb_and_stale() {
+        let mut r = report();
+        let b = parse("MKSS-L002 1 a.rs\nMKSS-L003 2 b.rs\n").unwrap();
+        let stale = b.apply(&mut r);
+        // One L002 absorbed, one left; one of two L003 budget used.
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.baselined, 2);
+        assert_eq!(
+            stale,
+            vec![Entry {
+                code: "MKSS-L003".into(),
+                path: "b.rs".into(),
+                count: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("L002 a.rs").is_err());
+        assert!(parse("MKSS-L002 x a.rs").is_err());
+        assert!(parse("MKSS-L002 1 a.rs extra").is_err());
+        assert!(parse("# just comments\n\n").unwrap().entries.is_empty());
+    }
+}

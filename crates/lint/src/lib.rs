@@ -1,16 +1,22 @@
 //! `mkss-lint` — zero-dependency static enforcement of this
 //! workspace's project invariants.
 //!
-//! The last three PRs created guarantees that only *runtime*
-//! differential tests defended: bit-identical results across `--jobs`
-//! (PR 1), a zero-allocation engine hot path (PR 2), and
-//! recorder-off byte-identity with jobs-invariant counters (PR 3).
-//! In the spirit of the paper's own offline (m,k) guarantees — the
-//! pattern-based analysis proves the property before the system runs —
-//! this crate moves those checks to CI time: a hand-rolled Rust lexer
-//! ([`lexer`]) feeds a token-pattern rule engine ([`rules`]) that walks
-//! every non-vendored `.rs` file and `Cargo.toml` in the workspace and
-//! reports `file:line` findings with rule IDs.
+//! The earlier PRs created guarantees that only *runtime* differential
+//! tests defended: bit-identical results across `--jobs` (PR 1), a
+//! zero-allocation engine hot path (PR 2), and recorder-off
+//! byte-identity with jobs-invariant counters (PR 3). In the spirit of
+//! the paper's own offline (m,k) guarantees — the pattern-based
+//! analysis proves the property before the system runs — this crate
+//! moves those checks to CI time.
+//!
+//! The analyzer has two layers. A hand-rolled Rust lexer ([`lexer`])
+//! produces a span-exact token stream; a lightweight item parser
+//! ([`parser`]) builds per-file item skeletons (fns, impls, structs,
+//! `use` resolution, brace-matched bodies) and a workspace-wide
+//! [`parser::ItemGraph`]. The rule engine ([`rules`]) runs token rules
+//! and item rules over every non-vendored `.rs` file and `Cargo.toml`
+//! in the workspace and reports `file:line` findings, each with a
+//! stable `MKSS-Lnnn` error code (see `DIAGNOSTICS.md`).
 //!
 //! Findings are suppressible only via an explicit annotation with a
 //! mandatory reason:
@@ -22,17 +28,26 @@
 //! (in manifests: `# mkss-lint: allow(vendored-deps-only) — …`). The
 //! annotation must sit on the finding's line or the line directly
 //! above. Unused or malformed annotations are findings themselves, so
-//! the suppression inventory can never rot silently.
+//! the suppression inventory can never rot silently. Atomic-ordering
+//! sites use the sibling `// mkss-lint: ordering — reason` note.
 //!
 //! Run `cargo run -p mkss-lint` from anywhere in the workspace; the
-//! binary exits nonzero when anything fires. See `DESIGN.md` ("Static
-//! analysis & enforced invariants") for the rule table.
+//! binary exits nonzero when anything fires. `--format json` emits the
+//! machine-readable report ([`output`]); [`baseline`] lets a new rule
+//! land as a hard CI error while existing debt is burned down
+//! deliberately. See `DESIGN.md` ("Static analysis & enforced
+//! invariants") for the rule table.
 
+pub mod baseline;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
 
 use lexer::{Directive, DirectiveKind, Tok, TokKind};
+use parser::{FileItems, ItemGraph};
 use rules::error_hygiene::ErrorHygiene;
+use rules::lock_discipline::LockDiscipline;
 use rules::{Finding, MALFORMED_DIRECTIVE, UNUSED_ALLOW};
 use std::path::{Path, PathBuf};
 
@@ -43,6 +58,8 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Number of findings suppressed by `allow` annotations.
     pub suppressed: usize,
+    /// Number of findings absorbed by a baseline file.
+    pub baselined: usize,
     /// Number of files scanned.
     pub files: usize,
 }
@@ -59,13 +76,24 @@ type FileMeta = (String, Vec<Directive>, Vec<(u32, u32)>);
 /// Lints an in-memory set of `(workspace-relative path, content)`
 /// files. This is the whole engine — the filesystem entry points below
 /// only gather the file list. The file set is also the *universe* for
-/// cross-file rules (`error-hygiene` resolves impls against every file
-/// in the set).
+/// cross-file rules: `error-hygiene` resolves impls, `lock-discipline`
+/// its order graph, and `pub-api-hygiene` its module docs against
+/// every file in the set.
 pub fn lint_sources(files: &[(String, String)]) -> LintReport {
     let mut findings: Vec<Finding> = Vec::new();
     let mut file_meta: Vec<FileMeta> = Vec::new();
     let mut hygiene = ErrorHygiene::default();
+    let mut locks = LockDiscipline::default();
 
+    // Pass 1: lex and parse every Rust file (manifests scan directly).
+    struct Parsed<'a> {
+        path: &'a str,
+        lexed: lexer::Lexed<'a>,
+        mask: Vec<bool>,
+        test_spans: Vec<(u32, u32)>,
+        items: FileItems,
+    }
+    let mut parsed: Vec<Parsed<'_>> = Vec::new();
     for (path, content) in files {
         if path.ends_with("Cargo.toml") {
             let scan = rules::vendored_deps::check(path, content);
@@ -74,21 +102,52 @@ pub fn lint_sources(files: &[(String, String)]) -> LintReport {
         } else if path.ends_with(".rs") {
             let lexed = lexer::lex(content);
             let (mask, test_spans) = test_mask(&lexed.toks);
-            let ctx = rules::FileCtx {
+            let items = parser::parse(&lexed);
+            parsed.push(Parsed {
                 path,
-                toks: &lexed.toks,
-                mask: &mask,
-                directives: &lexed.directives,
-            };
-            rules::no_unwrap::check(&ctx, &mut findings);
-            rules::nondeterminism::check(&ctx, &mut findings);
-            rules::hot_path_alloc::check(&ctx, &mut findings);
-            rules::recorder_gate::check(&ctx, &mut findings);
-            hygiene.collect(&ctx);
-            file_meta.push((path.clone(), lexed.directives, test_spans));
+                lexed,
+                mask,
+                test_spans,
+                items,
+            });
         }
     }
+    let graph = ItemGraph::build(
+        &parsed
+            .iter()
+            .map(|p| (p.path, &p.items))
+            .collect::<Vec<_>>(),
+    );
+
+    // Pass 2: run every rule with the graph in scope.
+    for p in &parsed {
+        let ctx = rules::FileCtx {
+            path: p.path,
+            toks: &p.lexed.toks,
+            mask: &p.mask,
+            directives: &p.lexed.directives,
+            test_spans: &p.test_spans,
+            items: &p.items,
+            graph: &graph,
+        };
+        rules::no_unwrap::check(&ctx, &mut findings);
+        rules::nondeterminism::check(&ctx, &mut findings);
+        rules::hot_path_alloc::check(&ctx, &mut findings);
+        rules::recorder_gate::check(&ctx, &mut findings);
+        rules::atomic_ordering::check(&ctx, &mut findings);
+        rules::condvar_wait::check(&ctx, &mut findings);
+        rules::float_fold::check(&ctx, &mut findings);
+        rules::pub_api::check(&ctx, &mut findings);
+        hygiene.collect(&ctx);
+        locks.collect(&ctx, &mut findings);
+        file_meta.push((
+            p.path.to_string(),
+            p.lexed.directives.clone(),
+            p.test_spans.clone(),
+        ));
+    }
     findings.extend(hygiene.finalize());
+    findings.extend(locks.finalize());
 
     // Directive diagnostics: malformed directives and unknown rule
     // names are findings (a typo must never silently disable a rule).
@@ -169,6 +228,7 @@ pub fn lint_sources(files: &[(String, String)]) -> LintReport {
     LintReport {
         findings,
         suppressed,
+        baselined: 0,
         files: files.len(),
     }
 }

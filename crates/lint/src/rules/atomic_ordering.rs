@@ -1,0 +1,73 @@
+//! `atomic-ordering-annotated` (MKSS-L010): every atomic memory
+//! ordering choice is a proof obligation, so every
+//! `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` site must carry
+//! a `// mkss-lint: ordering — reason` note on its line or the line
+//! above saying why that strength is sufficient (for the weak ones)
+//! and necessary (for SeqCst). A note that covers no site is itself a
+//! finding, so the inventory cannot rot.
+//!
+//! `std::cmp::Ordering` never collides: its variants (`Less`, `Equal`,
+//! `Greater`) are not memory-ordering names.
+
+use super::{scope, FileCtx, Finding, ATOMIC_ORDERING_ANNOTATED};
+use crate::lexer::DirectiveKind;
+
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// A note on line L covers sites on lines L..=L+2 — the slack admits
+/// one rustfmt wrap between the note and the `Ordering::` token.
+const NOTE_WINDOW: u32 = 2;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if scope::is_test_source(ctx.path) {
+        return;
+    }
+    let notes: Vec<u32> = ctx
+        .directives
+        .iter()
+        .filter(|d| matches!(d.kind, DirectiveKind::Ordering { .. }))
+        .map(|d| d.line)
+        .collect();
+    let mut used = vec![false; notes.len()];
+
+    for i in 0..ctx.toks.len() {
+        if !ctx.live(i) || i < 3 {
+            continue;
+        }
+        let t = ctx.tok(i);
+        let is_site = t.kind == crate::lexer::TokKind::Ident
+            && VARIANTS.contains(&t.text)
+            && ctx.tok(i - 1).is_punct(':')
+            && ctx.tok(i - 2).is_punct(':')
+            && ctx.tok(i - 3).is_ident("Ordering");
+        if !is_site {
+            continue;
+        }
+        let covered = notes
+            .iter()
+            .enumerate()
+            .find(|(_, &n)| n <= t.line && t.line - n <= NOTE_WINDOW);
+        match covered {
+            Some((slot, _)) => used[slot] = true,
+            None => out.push(ctx.finding(
+                t.line,
+                ATOMIC_ORDERING_ANNOTATED,
+                format!(
+                    "Ordering::{} has no `// mkss-lint: ordering — reason` note \
+                     justifying this strength",
+                    t.text
+                ),
+            )),
+        }
+    }
+
+    for (slot, &line) in notes.iter().enumerate() {
+        if !used[slot] && !ctx.in_test_span(line) {
+            out.push(ctx.finding(
+                line,
+                ATOMIC_ORDERING_ANNOTATED,
+                "ordering note justifies no Ordering:: site; remove it".to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! `condvar-wait-in-loop` (MKSS-L012): condition variables wake
+//! spuriously, so a naked `.wait(guard)` / `.wait_timeout(guard, …)`
+//! whose result is not re-checked in an enclosing loop is a latent
+//! missed-wakeup / early-continue bug. `.wait_while` /
+//! `.wait_timeout_while` re-check by construction and are exempt;
+//! deliberate single waits (e.g. a bounded grace period where acting
+//! early is harmless) carry a reasoned allow.
+//!
+//! The receiver is recognised structurally: condvar waits always pass
+//! the guard as an argument, so `child.wait()` (no arguments) never
+//! matches.
+
+use super::{scope, FileCtx, Finding, CONDVAR_WAIT_IN_LOOP};
+use crate::lexer::TokKind;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if scope::is_test_source(ctx.path) {
+        return;
+    }
+    for (_sig, open, close) in ctx.items.fn_bodies() {
+        // Stack of enclosing blocks: true when the block is a loop body.
+        let mut loops: Vec<bool> = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            let t = ctx.tok(i);
+            if t.is_punct('{') {
+                loops.push(block_is_loop(ctx, open, i));
+            } else if t.is_punct('}') {
+                loops.pop();
+            } else if t.is_punct('.')
+                && matches!(ctx.tok(i + 1).text, "wait" | "wait_timeout")
+                && ctx.tok(i + 1).kind == TokKind::Ident
+                && ctx.tok(i + 2).is_punct('(')
+                && !ctx.tok(i + 3).is_punct(')')
+                && ctx.live(i + 1)
+                && !loops.iter().any(|&l| l)
+            {
+                let w = ctx.tok(i + 1);
+                out.push(ctx.finding(
+                    w.line,
+                    CONDVAR_WAIT_IN_LOOP,
+                    format!(
+                        ".{}() outside a loop: spurious wakeups mean the predicate \
+                         must be re-checked (use a `while` loop or .wait_while)",
+                        w.text
+                    ),
+                ));
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Whether the block opening at token `at` is a loop body: the tokens
+/// between the previous statement boundary and the `{` start with
+/// `loop`, `while`, or `for`.
+fn block_is_loop(ctx: &FileCtx<'_>, lo: usize, at: usize) -> bool {
+    let mut j = at;
+    while j > lo {
+        j -= 1;
+        let t = ctx.tok(j);
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            return true;
+        }
+    }
+    false
+}

@@ -1,19 +1,31 @@
 //! The rule catalog and the per-file context rules run against.
 //!
-//! Every rule is a token-pattern pass over one lexed file (plus, for
-//! `error-hygiene`, a workspace-wide finalize step, and for
-//! `vendored-deps-only`, a manifest scan instead of a token scan).
-//! Findings are suppressible only by an explicit
+//! Rules come in two layers. The original token rules are per-file
+//! pattern passes over the lexed stream (plus, for `error-hygiene`, a
+//! workspace-wide finalize step, and for `vendored-deps-only`, a
+//! manifest scan). The v2 rules additionally see the item layer
+//! ([`crate::parser`]): brace-matched fn bodies, struct fields, impls
+//! and `use` resolution, and the cross-file [`crate::parser::ItemGraph`]
+//! (float newtypes, pub types, module docs, lock-order edges).
+//!
+//! Every rule has a stable error code (`MKSS-L001`…, see
+//! `DIAGNOSTICS.md`). Findings are suppressible only by an explicit
 //! `// mkss-lint: allow(<rule>) — <reason>` on the same or the
 //! preceding line; the reason is mandatory and unused allows are
 //! themselves findings, so suppressions stay auditable.
 
 use crate::lexer::{Directive, Tok};
+use crate::parser::{FileItems, ItemGraph};
 
+pub mod atomic_ordering;
+pub mod condvar_wait;
 pub mod error_hygiene;
+pub mod float_fold;
 pub mod hot_path_alloc;
+pub mod lock_discipline;
 pub mod no_unwrap;
 pub mod nondeterminism;
+pub mod pub_api;
 pub mod recorder_gate;
 pub mod vendored_deps;
 
@@ -29,12 +41,23 @@ pub struct Finding {
     pub message: String,
 }
 
+impl Finding {
+    /// The rule's stable `MKSS-Lnnn` error code (see DIAGNOSTICS.md).
+    pub fn code(&self) -> &'static str {
+        code_for(self.rule)
+    }
+}
+
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
+            "{}:{}: [{} {}] {}",
+            self.path,
+            self.line,
+            self.code(),
+            self.rule,
+            self.message
         )
     }
 }
@@ -42,6 +65,8 @@ impl std::fmt::Display for Finding {
 /// Static description of one rule, for `--list-rules` and the docs.
 pub struct RuleInfo {
     pub id: &'static str,
+    /// Stable error code, never reused (`MKSS-L001`…).
+    pub code: &'static str,
     pub summary: &'static str,
 }
 
@@ -54,11 +79,17 @@ pub const VENDORED_DEPS_ONLY: &str = "vendored-deps-only";
 pub const RECORDER_GATED_EMIT: &str = "recorder-gated-emit";
 pub const MALFORMED_DIRECTIVE: &str = "malformed-directive";
 pub const UNUSED_ALLOW: &str = "unused-allow";
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+pub const ATOMIC_ORDERING_ANNOTATED: &str = "atomic-ordering-annotated";
+pub const FLOAT_FOLD_DETERMINISM: &str = "float-fold-determinism";
+pub const CONDVAR_WAIT_IN_LOOP: &str = "condvar-wait-in-loop";
+pub const PUB_API_HYGIENE: &str = "pub-api-hygiene";
 
-/// The full catalog.
+/// The full catalog, ordered by error code.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: HOT_PATH_ALLOC,
+        code: "MKSS-L001",
         summary: "no allocating constructors (Vec::new, vec!, Box::new, to_vec, \
                   collect, String::from, format!, …) inside `mkss-lint: hot-path` \
                   regions — keeps the engine's zero-allocation guarantee visible \
@@ -66,41 +97,86 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: NO_UNWRAP_IN_LIB,
+        code: "MKSS-L002",
         summary: "no unwrap()/expect()/panic! in non-test code of the library \
                   crates (core, workload, policies, analysis, sim, obs); \
                   provably-infallible sites carry an annotated expect",
     },
     RuleInfo {
         id: NONDETERMINISM,
+        code: "MKSS-L003",
         summary: "no HashMap/HashSet (iteration order varies per process), no \
                   Instant::now/SystemTime::now outside annotated harness timing \
                   sites, no thread_rng — protects cross-`--jobs` byte-identity",
     },
     RuleInfo {
         id: ERROR_HYGIENE,
+        code: "MKSS-L004",
         summary: "every `pub` *Error type is #[non_exhaustive] and has Display \
                   and std::error::Error impls",
     },
     RuleInfo {
         id: VENDORED_DEPS_ONLY,
+        code: "MKSS-L005",
         summary: "every Cargo.toml dependency is a path/workspace dep (vendored \
                   or in-tree); registry and git deps can never build here",
     },
     RuleInfo {
         id: RECORDER_GATED_EMIT,
+        code: "MKSS-L006",
         summary: "every recorder incr/observe/event call in crates/sim sits \
                   inside an `if let Some(recorder)` gate, so the recorder-off \
                   path stays one branch per emit site",
     },
     RuleInfo {
         id: MALFORMED_DIRECTIVE,
+        code: "MKSS-L007",
         summary: "an `mkss-lint:` comment that does not parse (typo, missing \
                   reason, unknown rule) is an error, never silently ignored",
     },
     RuleInfo {
         id: UNUSED_ALLOW,
+        code: "MKSS-L008",
         summary: "an allow(...) annotation that suppresses nothing must be \
                   removed",
+    },
+    RuleInfo {
+        id: LOCK_DISCIPLINE,
+        code: "MKSS-L009",
+        summary: "no Mutex/RwLock guard held across a blocking call (condvar \
+                  wait on another lock, channel send/recv, IO, join, sleep) or \
+                  across a second acquisition that inverts a lock order seen \
+                  elsewhere in the workspace",
+    },
+    RuleInfo {
+        id: ATOMIC_ORDERING_ANNOTATED,
+        code: "MKSS-L010",
+        summary: "every atomic Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst} \
+                  site carries a `// mkss-lint: ordering — reason` note saying \
+                  why that strength is right; unused notes are findings too",
+    },
+    RuleInfo {
+        id: FLOAT_FOLD_DETERMINISM,
+        code: "MKSS-L011",
+        summary: "float accumulation (`+=`, `.sum()`, float folds) in non-test \
+                  library code goes through the fixed-order mkss_core::fold \
+                  helpers or carries a reasoned allow — protects bit-identical \
+                  results across `--jobs`",
+    },
+    RuleInfo {
+        id: CONDVAR_WAIT_IN_LOOP,
+        code: "MKSS-L012",
+        summary: "a Condvar .wait()/.wait_timeout() must sit inside a loop that \
+                  re-checks its predicate (spurious wakeups); .wait_while or a \
+                  reasoned allow for deliberate single waits",
+    },
+    RuleInfo {
+        id: PUB_API_HYGIENE,
+        code: "MKSS-L013",
+        summary: "public items in library crates carry doc comments, `pub mod`s \
+                  resolve to module-documented files, and public enums are \
+                  #[non_exhaustive] unless a reasoned allow says growth is \
+                  impossible",
     },
 ];
 
@@ -109,7 +185,16 @@ pub fn is_known_rule(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id)
 }
 
-/// Everything a token rule sees about one file.
+/// The stable error code for a rule ID (`"?"` for unknown IDs, which
+/// cannot arise from catalogued findings).
+pub fn code_for(rule: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|r| r.id == rule)
+        .map_or("MKSS-L???", |r| r.code)
+}
+
+/// Everything a rule sees about one file.
 pub struct FileCtx<'a> {
     /// Workspace-relative path with forward slashes.
     pub path: &'a str,
@@ -118,6 +203,12 @@ pub struct FileCtx<'a> {
     /// (`#[cfg(test)]` / `#[test]` items); rules skip those tokens.
     pub mask: &'a [bool],
     pub directives: &'a [Directive],
+    /// Line spans of test-only items (for directive placement checks).
+    pub test_spans: &'a [(u32, u32)],
+    /// The file's item skeletons (fns, impls, structs, uses).
+    pub items: &'a FileItems,
+    /// Cross-file facts over the whole lint universe.
+    pub graph: &'a ItemGraph,
 }
 
 impl<'a> FileCtx<'a> {
@@ -127,6 +218,8 @@ impl<'a> FileCtx<'a> {
             kind: crate::lexer::TokKind::Punct('\0'),
             text: "",
             line: 0,
+            start: 0,
+            end: 0,
         };
         self.toks.get(i).copied().unwrap_or(NONE)
     }
@@ -134,6 +227,11 @@ impl<'a> FileCtx<'a> {
     /// True when token `i` is live (exists and is not test-masked).
     pub fn live(&self, i: usize) -> bool {
         i < self.toks.len() && !self.mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// True when `line` falls inside a test-only item.
+    pub fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
     }
 
     pub fn finding(&self, line: u32, rule: &'static str, message: String) -> Finding {
@@ -173,5 +271,11 @@ pub mod scope {
 
     pub fn in_sim_src(path: &str) -> bool {
         path.starts_with("crates/sim/src/")
+    }
+
+    /// The fixed-order fold helpers themselves — the one place float
+    /// accumulation is the point.
+    pub fn is_fold_helper(path: &str) -> bool {
+        path == "crates/core/src/fold.rs"
     }
 }

@@ -1,0 +1,74 @@
+//! `pub-api-hygiene` (MKSS-L013): the library crates are the paper
+//! reproduction's public surface — every `pub` item needs a doc
+//! comment (what invariant does it uphold? what units? what panics?),
+//! and every `pub` enum is `#[non_exhaustive]` unless a reasoned allow
+//! records that the variant set is closed for good (a catalog enum the
+//! consumers *should* exhaustively match).
+//!
+//! Effective visibility comes from the item tree: a `pub fn` inside a
+//! private `mod` is not API; a method is API only when its inherent
+//! impl targets a `pub` type (trait impls document through the trait).
+//! `pub mod x;` declarations resolve cross-file through the item graph
+//! to `x.rs` / `x/mod.rs` and are satisfied by that file's `//!`
+//! module docs. `*Error` enums are owned by `error-hygiene` and
+//! skipped here.
+
+use super::{scope, FileCtx, Finding, PUB_API_HYGIENE};
+use crate::parser::{ItemKind, Vis};
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !scope::in_lib_crate(ctx.path) || scope::is_test_source(ctx.path) {
+        return;
+    }
+    for (idx, it) in ctx.items.items.iter().enumerate() {
+        let kind_name = match it.kind {
+            ItemKind::Fn => "fn",
+            ItemKind::Struct => "struct",
+            ItemKind::Union => "union",
+            ItemKind::Enum => "enum",
+            ItemKind::Trait => "trait",
+            ItemKind::TypeAlias => "type alias",
+            ItemKind::Const => "const",
+            ItemKind::Static => "static",
+            ItemKind::Mod => "mod",
+            ItemKind::Impl | ItemKind::Macro => continue,
+        };
+        if it.vis != Vis::Pub || !ctx.items.effectively_pub(idx) {
+            continue;
+        }
+        if !ctx.live(it.first_tok) {
+            continue; // test-masked item
+        }
+        // Methods: API only on an inherent impl of a pub type.
+        if let Some(im) = ctx.items.enclosing_impl(idx) {
+            if im.trait_impl || !ctx.graph.pub_types.contains(&im.name) {
+                continue;
+            }
+        }
+        let documented = it.doc
+            || (it.kind == ItemKind::Mod
+                && it.body.is_none()
+                && ctx
+                    .graph
+                    .module_has_docs(ctx.path, &it.name)
+                    .unwrap_or(true));
+        if !documented {
+            out.push(ctx.finding(
+                it.line,
+                PUB_API_HYGIENE,
+                format!("public {kind_name} `{}` has no doc comment", it.name),
+            ));
+        }
+        if it.kind == ItemKind::Enum && !it.non_exhaustive && !it.name.ends_with("Error") {
+            out.push(ctx.finding(
+                it.line,
+                PUB_API_HYGIENE,
+                format!(
+                    "public enum `{}` is not #[non_exhaustive]; annotate it, or \
+                     allow with the reason the variant set is closed",
+                    it.name
+                ),
+            ));
+        }
+    }
+}

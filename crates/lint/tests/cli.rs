@@ -1,0 +1,211 @@
+//! End-to-end tests of the `mkss-lint` binary: exit codes, the golden
+//! `--list-rules` table, the baseline workflow, and the JSON report —
+//! which is round-tripped through `mkss-serve`'s hand-rolled JSON
+//! *parser*, the counterpart of the linter's hand-rolled writer.
+//!
+//! After an intentional rule-table change, regenerate the golden with
+//! `MKSS_BLESS=1 cargo test -p mkss-lint --test cli` and review the diff.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const LIST_RULES_GOLDEN: &str = include_str!("golden/list_rules.txt");
+
+/// A pub fn in a lib-crate path with no doc and a naked unwrap: fires
+/// MKSS-L002 (no-unwrap-in-lib) and MKSS-L013 (pub-api-hygiene)
+/// regardless of what the rest of the item graph contains.
+const BAD_SOURCE: &str = "//! Fixture crate.\n\
+                          pub fn naked(x: Option<u32>) -> u32 {\n\
+                          \x20   x.unwrap()\n\
+                          }\n";
+
+const CLEAN_SOURCE: &str = "//! Fixture crate.\n\
+                            /// Doubles.\n\
+                            pub fn doubled(x: u32) -> u32 {\n\
+                            \x20   x * 2\n\
+                            }\n";
+
+/// A scratch workspace-shaped directory, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(test: &str, source: &str) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("mkss-lint-cli-{}-{test}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src_dir = root.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).expect("create fixture tree");
+        std::fs::write(src_dir.join("bad.rs"), source).expect("write fixture");
+        Fixture { root }
+    }
+
+    fn file(&self) -> PathBuf {
+        self.root.join("crates/core/src/bad.rs")
+    }
+
+    /// Runs the binary with `--root` pointing at the fixture.
+    fn lint(&self, extra: &[&str]) -> Output {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_mkss-lint"));
+        cmd.arg("--root").arg(&self.root);
+        cmd.args(extra);
+        cmd.arg(self.file());
+        cmd.output().expect("run mkss-lint")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn list_rules_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mkss-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run mkss-lint");
+    assert!(out.status.success());
+    let text = stdout(&out);
+    if std::env::var_os("MKSS_BLESS").is_some() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/list_rules.txt");
+        std::fs::write(path, &text).expect("write golden");
+        return;
+    }
+    assert_eq!(text, LIST_RULES_GOLDEN);
+    // The table is the public rule catalog: all thirteen stable codes,
+    // each exactly once, in order.
+    for n in 1..=13 {
+        let code = format!("MKSS-L{n:03}");
+        assert_eq!(
+            text.matches(&code).count(),
+            1,
+            "{code} missing from --list-rules"
+        );
+    }
+}
+
+#[test]
+fn findings_fail_and_render_stable_text_format() {
+    let fx = Fixture::new("text", BAD_SOURCE);
+    let out = fx.lint(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(
+        text.contains("crates/core/src/bad.rs:3: [MKSS-L002 no-unwrap-in-lib]"),
+        "unexpected text output:\n{text}"
+    );
+    assert!(text.contains("[MKSS-L013 pub-api-hygiene]"), "{text}");
+}
+
+#[test]
+fn clean_run_exits_zero() {
+    let fx = Fixture::new("clean", CLEAN_SOURCE);
+    let out = fx.lint(&[]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert_eq!(stdout(&out), "");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mkss-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run mkss-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn json_report_round_trips_through_serve_parser() {
+    let fx = Fixture::new("json", BAD_SOURCE);
+    let out = fx.lint(&["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let doc = mkss_serve::json::parse(&stdout(&out)).expect("report is valid JSON");
+
+    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+    let findings = doc
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .expect("findings array");
+    assert!(!findings.is_empty());
+    for f in findings {
+        assert_eq!(
+            f.get("path").and_then(|v| v.as_str()),
+            Some("crates/core/src/bad.rs")
+        );
+        assert!(f.get("line").and_then(|v| v.as_u64()).is_some());
+        let code = f.get("code").and_then(|v| v.as_str()).expect("code");
+        assert!(code.starts_with("MKSS-L"), "{code}");
+        assert!(f.get("rule").and_then(|v| v.as_str()).is_some());
+        assert!(f.get("message").and_then(|v| v.as_str()).is_some());
+    }
+    let counts = doc.get("counts").expect("counts object");
+    assert_eq!(
+        counts.get("findings").and_then(|v| v.as_u64()),
+        Some(findings.len() as u64)
+    );
+    for key in ["suppressed", "baselined", "files"] {
+        assert!(counts.get(key).and_then(|v| v.as_u64()).is_some(), "{key}");
+    }
+}
+
+#[test]
+fn out_flag_writes_the_same_bytes_as_stdout() {
+    let fx = Fixture::new("out", BAD_SOURCE);
+    let report = fx.root.join("lint-report.json");
+    let out = fx.lint(&["--format", "json", "--out", report.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let on_disk = std::fs::read_to_string(&report).expect("report file written");
+    assert_eq!(on_disk, stdout(&out));
+    mkss_serve::json::parse(&on_disk).expect("report file is valid JSON");
+}
+
+#[test]
+fn baseline_absorbs_known_findings_and_goes_stale_when_fixed() {
+    let fx = Fixture::new("baseline", BAD_SOURCE);
+    let baseline = fx.root.join("baseline.txt");
+    let bp = baseline.to_str().unwrap();
+
+    // Regenerate-from-run: the same run still fails (the baseline is
+    // not applied to the run that wrote it).
+    let out = fx.lint(&["--write-baseline", bp]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // Absorbed: same debt, baseline applied, exit clean.
+    let out = fx.lint(&["--baseline", bp]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("2 baselined"), "{err}");
+
+    // Fixing the file makes every entry stale — and stale fails, so
+    // absorbed debt cannot silently outlive its findings.
+    std::fs::write(fx.file(), CLEAN_SOURCE).unwrap();
+    let out = fx.lint(&["--baseline", bp]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("stale baseline entry"), "{err}");
+}
+
+#[test]
+fn checked_in_baseline_has_zero_entries() {
+    // The merge policy: the baseline mechanism is for rule rollout
+    // inside a PR; the checked-in file carries no debt.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("lint-baseline.txt");
+    let text = std::fs::read_to_string(&path).expect("lint-baseline.txt is checked in");
+    let parsed = mkss_lint::baseline::parse(&text).expect("baseline parses");
+    assert!(
+        parsed.entries.is_empty(),
+        "lint-baseline.txt must be empty at merge, found: {:?}",
+        parsed.entries
+    );
+}

@@ -60,6 +60,7 @@ pub fn f(x: Option<u32>) -> u32 {
 #[test]
 fn no_unwrap_suppressed_by_allow() {
     let src = r#"
+/// Fixture: the allow below covers the expect call.
 pub fn f(x: Option<u32>) -> u32 {
     // mkss-lint: allow(no-unwrap-in-lib) — x is Some by construction in this fixture
     x.expect("present")
@@ -207,7 +208,7 @@ fn hot_path_markers_must_balance() {
 
 #[test]
 fn error_hygiene_fires_on_bare_error_type() {
-    let src = "pub struct NakedError;\n";
+    let src = "/// Fixture: declared bare on purpose.\npub struct NakedError;\n";
     let found = lint_one("crates/core/src/fixture.rs", src);
     assert_eq!(rules_of(&found), vec!["error-hygiene"]);
     assert!(found[0].message.contains("#[non_exhaustive]"));
@@ -216,7 +217,10 @@ fn error_hygiene_fires_on_bare_error_type() {
 
 #[test]
 fn error_hygiene_suppressed_by_allow() {
+    // The directive line between the doc comment and the item must not
+    // break doc attachment (it is an ordinary comment to rustc).
     let src = "\
+/// Fixture bridge type.
 // mkss-lint: allow(error-hygiene) — internal bridge type, never crosses the API
 pub struct BridgeError;
 ";
@@ -229,6 +233,7 @@ fn error_hygiene_clean_on_convention() {
 use std::error::Error as StdError;
 use std::fmt;
 
+/// Fixture error following the convention.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum GoodError {
@@ -248,7 +253,8 @@ impl StdError for GoodError {}
 
 #[test]
 fn error_hygiene_resolves_impls_across_files() {
-    let decl = "#[non_exhaustive]\npub struct SplitError;\n";
+    let decl =
+        "/// Fixture: impls live in a sibling file.\n#[non_exhaustive]\npub struct SplitError;\n";
     let impls = "use std::fmt;\nuse crate::SplitError;\n\
 impl fmt::Display for SplitError { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"e\") } }\n\
 impl std::error::Error for SplitError {}\n";
@@ -403,6 +409,7 @@ fn f() {}
 #[test]
 fn wellformed_directives_are_silent() {
     let src = "\
+/// Fixture: a reasoned allow is well-formed.
 pub fn f(x: Option<u32>) -> u32 {
     // mkss-lint: allow(no-unwrap-in-lib) — fixture invariant
     x.unwrap()
@@ -436,6 +443,7 @@ fn f() {}
 #[test]
 fn used_allow_is_silent_and_test_code_exempt() {
     let used = "\
+/// Fixture: the allow below is consumed.
 pub fn f(x: Option<u32>) -> u32 {
     // mkss-lint: allow(no-unwrap-in-lib) — fixture invariant
     x.unwrap()
@@ -464,7 +472,7 @@ fn allow_must_be_adjacent() {
     // Two lines above the finding: too far, does not suppress (and is
     // therefore itself unused).
     let src = "\
-pub fn f(x: Option<u32>) -> u32 {
+fn f(x: Option<u32>) -> u32 {
     // mkss-lint: allow(no-unwrap-in-lib) — too far away
 
     x.unwrap()
@@ -479,7 +487,7 @@ pub fn f(x: Option<u32>) -> u32 {
 #[test]
 fn allow_on_same_line_works() {
     let src = "\
-pub fn f(x: Option<u32>) -> u32 {
+fn f(x: Option<u32>) -> u32 {
     x.unwrap() // mkss-lint: allow(no-unwrap-in-lib) — trailing form
 }
 ";
@@ -491,15 +499,381 @@ fn findings_are_sorted_and_formatted() {
     let report = lint_sources(&[
         (
             "crates/core/src/b.rs".into(),
-            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
         ),
         (
             "crates/core/src/a.rs".into(),
-            "pub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
+            "fn g(x: Option<u32>) -> u32 { x.unwrap() }\n".into(),
         ),
     ]);
     let lines: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
     assert_eq!(lines.len(), 2);
-    assert!(lines[0].starts_with("crates/core/src/a.rs:1: [no-unwrap-in-lib]"));
-    assert!(lines[1].starts_with("crates/core/src/b.rs:1: [no-unwrap-in-lib]"));
+    assert!(lines[0].starts_with("crates/core/src/a.rs:1: [MKSS-L002 no-unwrap-in-lib]"));
+    assert!(lines[1].starts_with("crates/core/src/b.rs:1: [MKSS-L002 no-unwrap-in-lib]"));
+}
+
+// ---------------------------------------------------------------- //
+// lock-discipline
+
+#[test]
+fn lock_discipline_fires_on_guard_across_blocking() {
+    let src = r#"
+fn f(&self) {
+    let g = lock(&self.shared.conns);
+    self.tx.send(1);
+    drop(g);
+}
+"#;
+    assert_fires("crates/serve/src/fixture.rs", src, "lock-discipline", 1);
+}
+
+#[test]
+fn lock_discipline_fires_on_double_acquisition() {
+    let src = r#"
+fn f(&self) {
+    let a = self.state.lock();
+    let b = self.state.lock();
+    let _ = (a, b);
+}
+"#;
+    assert_fires("crates/core/src/fixture.rs", src, "lock-discipline", 1);
+}
+
+#[test]
+fn lock_discipline_reports_order_inversion_across_files() {
+    let ab = "fn f(&self) {\n    let a = self.alpha.lock();\n    let b = self.beta.lock();\n    let _ = (a, b);\n}\n";
+    let ba = "fn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n    let _ = (a, b);\n}\n";
+    let report = lint_sources(&[
+        ("crates/serve/src/ab.rs".into(), ab.into()),
+        ("crates/serve/src/ba.rs".into(), ba.into()),
+    ]);
+    assert_eq!(rules_of(&report.findings), vec!["lock-discipline"]);
+    assert!(report.findings[0].message.contains("inversion"));
+    // Reported at the lexicographically later edge (beta-then-alpha).
+    assert_eq!(report.findings[0].path, "crates/serve/src/ba.rs");
+}
+
+#[test]
+fn lock_discipline_suppressed_by_allow() {
+    let src = r#"
+fn f(&self) {
+    let g = lock(&self.shared.conns);
+    // mkss-lint: allow(lock-discipline) — fixture: unbounded channel, send never blocks
+    self.tx.send(1);
+    drop(g);
+}
+"#;
+    assert_suppressed("crates/serve/src/fixture.rs", src);
+}
+
+#[test]
+fn lock_discipline_clean_on_scoped_guards_and_condvar_protocol() {
+    // Guard dies with its block before the blocking call.
+    let scoped = r#"
+fn f(&self) {
+    {
+        let g = lock(&self.state);
+        let _ = *g;
+    }
+    self.tx.send(1);
+}
+"#;
+    assert_clean("crates/serve/src/fixture.rs", scoped);
+    // A condvar wait consuming its own guard is the protocol working.
+    let condvar = r#"
+fn f(&self) {
+    let mut g = lock(&self.state);
+    while !g.ready {
+        g = self.cv.wait(g);
+    }
+}
+"#;
+    assert_clean("crates/serve/src/fixture.rs", condvar);
+    // Early drop releases the guard before the blocking call.
+    let dropped = r#"
+fn f(&self) {
+    let g = lock(&self.state);
+    let v = *g;
+    drop(g);
+    self.tx.send(v);
+}
+"#;
+    assert_clean("crates/serve/src/fixture.rs", dropped);
+}
+
+// ---------------------------------------------------------------- //
+// atomic-ordering-annotated
+
+#[test]
+fn atomic_ordering_fires_without_note() {
+    let src = r#"
+fn f(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+"#;
+    assert_fires(
+        "crates/core/src/fixture.rs",
+        src,
+        "atomic-ordering-annotated",
+        1,
+    );
+}
+
+#[test]
+fn atomic_ordering_unused_note_fires() {
+    let src = "\
+// mkss-lint: ordering — this note justifies nothing
+fn f() {}
+";
+    assert_fires(
+        "crates/core/src/fixture.rs",
+        src,
+        "atomic-ordering-annotated",
+        1,
+    );
+}
+
+#[test]
+fn atomic_ordering_note_covers_nearby_site() {
+    let src = r#"
+fn f(flag: &AtomicBool) {
+    // mkss-lint: ordering — fixture: stop flag, no data published through it
+    flag.store(true, Ordering::Relaxed);
+}
+"#;
+    assert_clean("crates/core/src/fixture.rs", src);
+    // std::cmp::Ordering variants never collide with memory orderings.
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        "fn c(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }\n",
+    );
+    // Test sources annotate nothing.
+    assert_clean(
+        "crates/core/tests/fixture.rs",
+        "fn f(flag: &AtomicBool) { flag.store(true, Ordering::SeqCst); }\n",
+    );
+}
+
+#[test]
+fn atomic_ordering_suppressed_by_allow() {
+    let src = r#"
+fn f(flag: &AtomicBool) {
+    // mkss-lint: allow(atomic-ordering-annotated) — fixture demonstrating the plain allow form
+    flag.store(true, Ordering::SeqCst);
+}
+"#;
+    assert_suppressed("crates/core/src/fixture.rs", src);
+}
+
+// ---------------------------------------------------------------- //
+// float-fold-determinism
+
+#[test]
+fn float_fold_fires_on_accumulation_and_sum() {
+    let src = r#"
+fn total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+fn total2(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+"#;
+    assert_fires(
+        "crates/analysis/src/fixture.rs",
+        src,
+        "float-fold-determinism",
+        2,
+    );
+}
+
+#[test]
+fn float_fold_resolves_newtypes_through_item_graph() {
+    // `self.0 += j` is float because Energy wraps f64 — resolved via
+    // the cross-file item graph, not local tokens.
+    let decl = "/// Fixture energy newtype.\npub struct Energy(pub f64);\n";
+    let imp = "\
+use crate::Energy;
+impl Energy {
+    fn add(&mut self, j: Energy) {
+        self.0 += j.0;
+    }
+}
+";
+    let report = lint_sources(&[
+        ("crates/sim/src/decl.rs".into(), decl.into()),
+        ("crates/sim/src/imp.rs".into(), imp.into()),
+    ]);
+    assert_eq!(rules_of(&report.findings), vec!["float-fold-determinism"]);
+}
+
+#[test]
+fn float_fold_suppressed_by_allow() {
+    let src = r#"
+fn total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        // mkss-lint: allow(float-fold-determinism) — fixture: slice order is the pinned order
+        acc += *x;
+    }
+    acc
+}
+"#;
+    assert_suppressed("crates/analysis/src/fixture.rs", src);
+}
+
+#[test]
+fn float_fold_clean_on_integers_and_fold_helpers() {
+    let src = r#"
+fn count(xs: &[u32]) -> u32 {
+    let mut acc = 0u32;
+    for x in xs {
+        acc += *x;
+    }
+    acc
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    mkss_core::fold::sum_f64(xs) / xs.len() as f64
+}
+"#;
+    assert_clean("crates/analysis/src/fixture.rs", src);
+    // The fold helpers themselves are the one sanctioned home.
+    assert_clean(
+        "crates/core/src/fold.rs",
+        "/// Fixture.\npub fn sum_f64(xs: &[f64]) -> f64 { let mut a = 0.0; for x in xs { a += *x; } a }\n",
+    );
+}
+
+// ---------------------------------------------------------------- //
+// condvar-wait-in-loop
+
+#[test]
+fn condvar_wait_fires_outside_loop() {
+    let src = r#"
+fn f(&self) {
+    let g = lock(&self.state);
+    let _r = self.cv.wait_timeout(g, timeout);
+}
+"#;
+    assert_fires(
+        "crates/serve/src/fixture.rs",
+        src,
+        "condvar-wait-in-loop",
+        1,
+    );
+}
+
+#[test]
+fn condvar_wait_suppressed_by_allow() {
+    let src = r#"
+fn f(&self) {
+    let g = lock(&self.state);
+    // mkss-lint: allow(condvar-wait-in-loop) — fixture: bounded grace period, waking early is safe
+    let _r = self.cv.wait_timeout(g, dur);
+}
+"#;
+    assert_suppressed("crates/serve/src/fixture.rs", src);
+}
+
+#[test]
+fn condvar_wait_clean_in_loop_wait_while_and_child_wait() {
+    let src = r#"
+fn f(&self) {
+    let mut g = lock(&self.state);
+    while !g.ready {
+        g = self.cv.wait(g);
+    }
+}
+
+fn w(&self) {
+    let g = lock(&self.state);
+    let _r = self.cv.wait_while(g, |s| !s.ready);
+}
+
+fn h(child: &mut Child) {
+    let _status = child.wait();
+}
+"#;
+    assert_clean("crates/serve/src/fixture.rs", src);
+}
+
+// ---------------------------------------------------------------- //
+// pub-api-hygiene
+
+#[test]
+fn pub_api_fires_on_undocumented_and_exhaustive_items() {
+    let src = r#"
+pub fn naked() {}
+
+/// Documented, but the variant set is open-ended.
+pub enum Mode {
+    A,
+    B,
+}
+
+/// A documented type.
+pub struct Thing;
+
+impl Thing {
+    pub fn undocumented_method(&self) {}
+}
+"#;
+    assert_fires("crates/core/src/fixture.rs", src, "pub-api-hygiene", 3);
+}
+
+#[test]
+fn pub_api_suppressed_by_allow() {
+    let src = "\
+/// Fixture catalog enum.
+// mkss-lint: allow(pub-api-hygiene) — fixture: variant set is closed, consumers match exhaustively
+pub enum Closed {
+    A,
+    B,
+}
+";
+    assert_suppressed("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn pub_api_clean_on_documented_and_private_items() {
+    let src = r#"
+/// Documented.
+#[non_exhaustive]
+pub enum Mode {
+    A,
+    B,
+}
+
+/// Documented fn.
+pub fn f() {}
+
+struct Hidden;
+
+fn private() {}
+
+mod inner {
+    pub fn not_api() {}
+}
+
+/// Documented trait.
+pub trait Speak {
+    /// Required method.
+    fn speak(&self);
+}
+
+/// Documented type.
+pub struct Thing;
+
+impl Speak for Thing {
+    fn speak(&self) {}
+}
+"#;
+    assert_clean("crates/core/src/fixture.rs", src);
+    // Harness crates are not API surface.
+    assert_clean("crates/bench/src/fixture.rs", "pub fn free_for_all() {}\n");
 }

@@ -33,19 +33,23 @@ fn workspace_has_zero_findings() {
 
 #[test]
 fn engine_hot_path_region_is_live() {
-    // Linting the real engine.rs with the rest of the workspace absent
+    // Linting the real engine.rs with most of the workspace absent
     // must still resolve its hot-path region without balance errors,
     // proving the markers parse. (An unbalanced or typoed marker is
     // itself a finding, so zero findings here is the assertion.)
+    // power.rs rides along so the item graph knows `Energy` is a float
+    // newtype — without it the engine's float-fold allows would read as
+    // unused and fire L008.
     let root = repo_root();
     let engine = root.join("crates/sim/src/engine.rs");
+    let power = root.join("crates/sim/src/power.rs");
     assert!(engine.is_file(), "engine.rs moved?");
     let src = std::fs::read_to_string(&engine).expect("engine.rs is readable");
     assert!(
         src.contains("mkss-lint: hot-path begin") && src.contains("mkss-lint: hot-path end"),
         "engine.rs lost its hot-path markers"
     );
-    let report = lint_paths(root, &[engine]).expect("single-file lint succeeds");
+    let report = lint_paths(root, &[engine, power]).expect("two-file lint succeeds");
     let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
     assert!(
         rendered.is_empty(),

@@ -253,6 +253,7 @@ impl HistogramId {
 /// A percentile estimate read off fixed histogram buckets — bucket
 /// resolution only, so it names a bound rather than an exact value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: at-most/overflow is the complete case split for a bounded-bucket estimate
 pub enum Percentile {
     /// The percentile falls inside a bounded bucket: `value <= bound`.
     AtMost(u64),

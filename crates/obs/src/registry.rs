@@ -65,6 +65,7 @@ impl Registry {
     /// A handle on the next shard in round-robin order — convenient when
     /// callers don't track worker indices themselves.
     pub fn handle(self: &Arc<Self>) -> RecorderHandle {
+        // mkss-lint: ordering — round-robin shard pick; any interleaving spreads load equally well
         let shard = self.next.fetch_add(1, Ordering::Relaxed);
         self.handle_at(shard)
     }
@@ -75,10 +76,12 @@ impl Registry {
         let mut histograms = vec![[0u64; HistogramId::BUCKETS]; HistogramId::COUNT];
         for shard in self.shards.iter() {
             for (total, cell) in counters.iter_mut().zip(shard.counters.iter()) {
+                // mkss-lint: ordering — monotonic telemetry counters; a snapshot is advisory and tolerates in-flight increments
                 *total += cell.load(Ordering::Relaxed);
             }
             for (totals, cells) in histograms.iter_mut().zip(shard.histograms.iter()) {
                 for (total, cell) in totals.iter_mut().zip(cells.iter()) {
+                    // mkss-lint: ordering — same advisory-snapshot argument as the counter loop above
                     *total += cell.load(Ordering::Relaxed);
                 }
             }
@@ -108,12 +111,14 @@ pub struct RecorderHandle {
 impl Recorder for RecorderHandle {
     #[inline]
     fn incr(&self, counter: CounterId, by: u64) {
+        // mkss-lint: ordering — commutative counter bump on the hot path; nothing reads it for synchronization
         self.registry.shards[self.shard].counters[counter.index()].fetch_add(by, Ordering::Relaxed);
     }
 
     #[inline]
     fn observe(&self, histogram: HistogramId, value: u64) {
         let bucket = histogram.bucket_of(value);
+        // mkss-lint: ordering — commutative bucket bump, same contract as incr
         self.registry.shards[self.shard].histograms[histogram.index()][bucket]
             .fetch_add(1, Ordering::Relaxed);
     }

@@ -43,7 +43,9 @@ impl Reporter {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
+        // mkss-lint: allow(lock-discipline) — serializing whole lines through the sink is this lock's purpose; the write is one pre-built buffer, not a slow producer
         let _ = sink.write_all(&buf);
+        // mkss-lint: allow(lock-discipline) — flush under the same guard keeps lines atomic on the wire
         let _ = sink.flush();
     }
 }

@@ -176,8 +176,8 @@ fn exec_sweep(id: u64, job: &SweepJob, env: &ExecEnv<'_>) -> String {
             Err(e) => return error_line(Some(id), &e),
         }
     }
-    let total_energy: f64 = reports.iter().map(|r| r.total_energy().units()).sum();
-    let active_energy: f64 = reports.iter().map(|r| r.active_energy().units()).sum();
+    let total_energy = mkss_core::fold::sum_f64_by(&reports, |r| r.total_energy().units());
+    let active_energy = mkss_core::fold::sum_f64_by(&reports, |r| r.active_energy().units());
     let violations: usize = reports.iter().map(|r| r.violations.len()).sum();
     let assured = reports.iter().filter(|r| r.mk_assured()).count();
     let met: u64 = reports.iter().map(|r| r.stats.met).sum();

@@ -16,6 +16,7 @@ pub const MAX_DEPTH: usize = 64;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: JSON has exactly these value kinds; a parser consumer must match them all
 pub enum JsonValue {
     /// `null`.
     Null,

@@ -90,13 +90,15 @@ impl ShutdownSignal {
     }
 
     fn request(&self) {
-        self.requested.store(true, Ordering::SeqCst);
+        // mkss-lint: ordering — Release pairs with the Acquire load in is_requested; the flag carries no payload beyond itself and the notify below is already fenced by the mutex
+        self.requested.store(true, Ordering::Release);
         let _guard = lock(&self.mutex);
         self.condvar.notify_all();
     }
 
     fn is_requested(&self) -> bool {
-        self.requested.load(Ordering::SeqCst)
+        // mkss-lint: ordering — Acquire pairs with the Release store in request; seeing `true` is the only obligation
+        self.requested.load(Ordering::Acquire)
     }
 
     /// Park for up to `timeout` or until a shutdown request, whichever
@@ -108,6 +110,7 @@ impl ShutdownSignal {
         if self.is_requested() {
             return true;
         }
+        // mkss-lint: allow(condvar-wait-in-loop) — bounded doze, not a predicate wait: the caller re-checks is_requested() on return and waking early just re-samples a frame
         let (guard, _timed_out) = match self.condvar.wait_timeout(guard, timeout) {
             Ok(pair) => pair,
             Err(poisoned) => poisoned.into_inner(),
@@ -324,6 +327,7 @@ fn accept_loop(endpoint: Endpoint, shared: &Arc<Shared>) {
         let Ok(read_half) = conn.try_clone() else {
             continue;
         };
+        // mkss-lint: ordering — token allocation needs uniqueness only; fetch_add is atomic under any ordering
         let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         lock(&shared.conns).push((token, read_half));
         let handler = {
@@ -498,6 +502,7 @@ fn respond(
 /// caller-supplied entries (watch frames add their frame index), wrapping
 /// the current global snapshot.
 fn daemon_doc(shared: &Shared, extra: &[(&str, String)]) -> MetricsDoc {
+    // mkss-lint: ordering — publication sequence label; monotonicity per document is all consumers read into it
     let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
     let mut meta: Vec<(&str, String)> = vec![
         ("endpoint", "daemon".to_string()),

@@ -1734,6 +1734,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             if let Some(c) = self.running[proc.index()] {
                 self.extend_busy(proc, self.clock, next);
                 let speed = self.ws.copies[c].speed_permil;
+                // mkss-lint: allow(float-fold-determinism) — per-processor accumulator advanced in event order by the single-threaded engine; the order is the simulation itself
                 self.active_energy[proc.index()] += self.config.power.active_energy_at(dt, speed);
                 let copy = &mut self.ws.copies[c];
                 copy.remaining -= dt;
@@ -1930,6 +1931,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             let from = from.min(end);
             let to = to.min(end);
             if from > cursor {
+                // mkss-lint: allow(float-fold-determinism) — busy intervals are stored sorted; the cursor sweep pins the order
                 breakdown.idle += power.idle_interval_energy(from - cursor);
                 breakdown.idle_time += from - cursor;
             }
@@ -1937,6 +1939,7 @@ impl<'a, 'w> Engine<'a, 'w> {
             cursor = cursor.max(to);
         }
         if end > cursor {
+            // mkss-lint: allow(float-fold-determinism) — single trailing-gap term added after the sorted sweep
             breakdown.idle += power.idle_interval_energy(end - cursor);
             breakdown.idle_time += end - cursor;
         }

@@ -50,6 +50,7 @@ impl Add for Energy {
 
 impl AddAssign for Energy {
     fn add_assign(&mut self, rhs: Energy) {
+        // mkss-lint: allow(float-fold-determinism) — Energy's own operator; accumulation order is each caller's contract, audited at their sites
         self.0 += rhs.0;
     }
 }

@@ -12,6 +12,7 @@ use crate::proc::ProcId;
 
 /// Why an execution segment ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: segment endings mirror the engine's fixed event alphabet; forensics match exhaustively
 pub enum SegmentEnd {
     /// The copy finished its execution demand.
     Completed,
@@ -98,6 +99,7 @@ impl Trace {
         ProcId::ALL
             .iter()
             .map(|&p| power.active_energy(self.busy_time_within(p, until)))
+            // mkss-lint: allow(float-fold-determinism) — two terms in fixed ProcId order
             .sum()
     }
 

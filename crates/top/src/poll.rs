@@ -16,6 +16,7 @@ use crate::render::{render_ansi, render_plain};
 
 /// Where the daemon listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: unix/tcp is the complete endpoint alphabet of the daemon
 pub enum Target {
     /// A Unix-domain socket path.
     Unix(PathBuf),

@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 
 /// How worst-case execution times are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+// mkss-lint: allow(pub-api-hygiene) — closed variant set: the two WCET draws the experiments compare; generators match exhaustively
 pub enum WcetModel {
     /// Uniform random weights scaled so the set's (m,k)-utilization hits
     /// the requested target exactly. Efficient (every draw lands in its
@@ -164,7 +165,7 @@ impl Generator {
         let shares: Vec<f64> = match self.config.wcet_model {
             WcetModel::Scaled => {
                 // Shares proportional to the raw weights.
-                let sum: f64 = weights.iter().sum();
+                let sum = mkss_core::fold::sum_f64(&weights);
                 weights.iter().map(|w| w / sum).collect()
             }
             WcetModel::UniformRaw => {
@@ -174,7 +175,7 @@ impl Generator {
                 let contributions: Vec<f64> = (0..n)
                     .map(|i| f64::from(mks[i].m()) / f64::from(mks[i].k()) * weights[i])
                     .collect();
-                let sum: f64 = contributions.iter().sum();
+                let sum = mkss_core::fold::sum_f64(&contributions);
                 contributions.iter().map(|c| c / sum).collect()
             }
         };

@@ -8,7 +8,28 @@ echo "== rustfmt (check, whole workspace) =="
 cargo fmt --check --all
 
 echo "== mkss-lint (project invariants, hard gate) =="
-cargo run --release -q -p mkss-lint
+# Full run against the checked-in baseline (empty at merge; see
+# DIAGNOSTICS.md), emitting the machine-readable report, whose shape is
+# then validated through an independent JSON parser.
+cargo run --release -q -p mkss-lint -- --baseline lint-baseline.txt \
+    --format json --out lint-report.json
+python3 - lint-report.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == 1, f"unknown report version {doc['version']}"
+assert isinstance(doc["findings"], list), "findings must be a list"
+for f in doc["findings"]:
+    for key in ("path", "line", "code", "rule", "message"):
+        assert key in f, f"finding missing {key}: {f}"
+    assert f["code"].startswith("MKSS-L"), f["code"]
+counts = doc["counts"]
+for key in ("findings", "suppressed", "baselined", "files"):
+    assert isinstance(counts.get(key), int), f"counts missing {key}"
+assert counts["findings"] == len(doc["findings"])
+assert counts["files"] > 50, f"suspiciously few files linted: {counts['files']}"
+print(f"lint report ok: {counts['findings']} findings, "
+      f"{counts['suppressed']} suppressed, {counts['files']} files")
+PY
 
 echo "== mkss-lint smoke (must reject a known-bad file) =="
 lint_tmp="$(mktemp -d)"
